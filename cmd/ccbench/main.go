@@ -1,0 +1,97 @@
+// Command ccbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ccbench -fig fig8            # one experiment
+//	ccbench -fig all             # everything, in paper order
+//	ccbench -fig conclusion -scale 8 -seed 1
+//
+// Reported durations are paper-equivalent virtual seconds (see the scaling
+// model in internal/experiments); -scale trades fidelity of time series
+// against wall-clock cost, -quick is a preset for smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ccx/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ccbench", flag.ContinueOnError)
+	var (
+		fig          = fs.String("fig", "all", "experiment id (fig1..fig12, conclusion) or 'all'")
+		scale        = fs.Float64("scale", 0, "time-scale divisor K (default 8)")
+		seed         = fs.Int64("seed", 0, "random seed (default 1)")
+		traceSeconds = fs.Float64("trace-seconds", 0, "MBone scenario length (default 160)")
+		dataBytes    = fs.Int("data-bytes", 0, "microbenchmark dataset size (default 4 MiB)")
+		quick        = fs.Bool("quick", false, "fast smoke-run preset")
+		list         = fs.Bool("list", false, "list experiment ids and exit")
+		format       = fs.String("format", "text", "output format: text | csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-12s %s\n", r.ID, r.Title)
+		}
+		return nil
+	}
+	opts := experiments.Options{
+		TimeScale:    *scale,
+		Seed:         *seed,
+		TraceSeconds: *traceSeconds,
+		DataBytes:    *dataBytes,
+	}
+	if *quick {
+		q := experiments.Quick()
+		if opts.TimeScale == 0 {
+			opts.TimeScale = q.TimeScale
+		}
+		if opts.TraceSeconds == 0 {
+			opts.TraceSeconds = q.TraceSeconds
+		}
+		if opts.DataBytes == 0 {
+			opts.DataBytes = q.DataBytes
+		}
+	}
+	ids := []string{strings.TrimSpace(*fig)}
+	if ids[0] == "all" {
+		ids = ids[:0]
+		for _, r := range experiments.Registry() {
+			ids = append(ids, r.ID)
+		}
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		report, err := experiments.Run(id, opts)
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "text":
+			err = report.Render(os.Stdout)
+		case "csv":
+			err = report.RenderCSV(os.Stdout)
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig99"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	if err := run([]string{"-fig", "fig7", "-format", "yaml"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestQuickFigureTextAndCSV(t *testing.T) {
+	// fig7 is the cheapest experiment (pure trace rendering).
+	if err := run([]string{"-fig", "fig7", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "fig7", "-quick", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

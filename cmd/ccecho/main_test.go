@@ -1,0 +1,114 @@
+package main
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ccx/internal/codec"
+	"ccx/internal/core"
+	"ccx/internal/echo"
+)
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestNeedsEndpoint(t *testing.T) {
+	if err := run(nil, make(chan struct{})); err == nil {
+		t.Fatal("no endpoints accepted")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}, make(chan struct{})); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-connect", "127.0.0.1:1"}, make(chan struct{})); err == nil {
+		t.Fatal("dead address accepted")
+	}
+}
+
+// TestPublishSubscribeSession runs a publisher node via run() and consumes
+// its compressed channel from an in-process bridge.
+func TestPublishSubscribeSession(t *testing.T) {
+	addr := freePort(t)
+	stop := make(chan struct{})
+	serverDone := make(chan error, 1)
+	go func() {
+		serverDone <- run([]string{
+			"-listen", addr,
+			"-publish", "txns",
+			"-kind", "ois",
+			"-size", "65536",
+			"-events", "6",
+			"-interval", "20ms",
+			"-block", "16384",
+		}, stop)
+	}()
+
+	// Client side: plain library bridge.
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	domain := echo.NewDomain()
+	bridge := echo.NewBridge(domain, conn)
+	defer bridge.Close()
+	ch, err := bridge.ImportChannel("txns.z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	events, bytesIn := 0, 0
+	core.SubscribeDecompressed(ch, nil, 0, func(data []byte, info codec.BlockInfo) {
+		mu.Lock()
+		events++
+		bytesIn += len(data)
+		mu.Unlock()
+	})
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := events
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	gotEvents, gotBytes := events, bytesIn
+	mu.Unlock()
+	if gotEvents < 3 {
+		t.Fatalf("received %d events", gotEvents)
+	}
+	if gotBytes%65536 != 0 {
+		t.Fatalf("payload bytes = %d", gotBytes)
+	}
+	close(stop)
+	select {
+	case err := <-serverDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not stop")
+	}
+}

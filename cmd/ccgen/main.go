@@ -1,0 +1,81 @@
+// Command ccgen emits the synthetic datasets used throughout the
+// reproduction: OIS transactions, XML documents, PBIO-serialized molecular
+// dynamics frames, low-entropy and random control streams, and the MBone
+// load trace.
+//
+// Usage:
+//
+//	ccgen -kind ois -size 4194304 -out txns.dat
+//	ccgen -kind molecular -size 1048576 | ccsend -addr host:9900
+//	ccgen -kind mbone -out load.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ccx/internal/datagen"
+	"ccx/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ccgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ccgen", flag.ContinueOnError)
+	var (
+		kind       = fs.String("kind", "ois", "ois | xml | molecular | lowentropy | random | mbone")
+		size       = fs.Int("size", 4<<20, "output size in bytes (record-rounded for molecular)")
+		seed       = fs.Int64("seed", 1, "generator seed")
+		out        = fs.String("out", "", "output file (default stdout)")
+		repetition = fs.Float64("repetition", 0.9, "ois: string-repetition knob in [0,1]")
+		alphabet   = fs.Int("alphabet", 4, "lowentropy: alphabet cardinality")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var dst io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	var data []byte
+	switch *kind {
+	case "ois":
+		data = datagen.OISTransactions(*size, *repetition, *seed)
+	case "xml":
+		data = datagen.XMLDocuments(*size, *seed)
+	case "molecular":
+		recSize := datagen.MolecularFormat().RecordSize()
+		n := *size / recSize
+		if n < 1 {
+			n = 1
+		}
+		atoms := datagen.Molecular(n, *seed)
+		var err error
+		data, err = datagen.MolecularBatch(atoms)
+		if err != nil {
+			return err
+		}
+	case "lowentropy":
+		data = datagen.LowEntropy(*size, *alphabet, *seed)
+	case "random":
+		data = datagen.Random(*size, *seed)
+	case "mbone":
+		return trace.MBoneSynthetic(*seed).Format(dst)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	_, err := dst.Write(data)
+	return err
+}

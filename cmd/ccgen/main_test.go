@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccx/internal/datagen"
+	"ccx/internal/trace"
+)
+
+func genToFile(t *testing.T, args ...string) []byte {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "out.dat")
+	if err := run(append(args, "-out", out)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestGenOIS(t *testing.T) {
+	data := genToFile(t, "-kind", "ois", "-size", "5000", "-seed", "3")
+	if len(data) != 5000 {
+		t.Fatalf("size = %d", len(data))
+	}
+	if !strings.Contains(string(data), "TXN") {
+		t.Fatal("not OIS shaped")
+	}
+}
+
+func TestGenXML(t *testing.T) {
+	data := genToFile(t, "-kind", "xml", "-size", "4000")
+	if len(data) != 4000 || !strings.Contains(string(data), "<txn") {
+		t.Fatalf("bad xml output (%d bytes)", len(data))
+	}
+}
+
+func TestGenMolecular(t *testing.T) {
+	data := genToFile(t, "-kind", "molecular", "-size", "10000")
+	rec := datagen.MolecularFormat().RecordSize()
+	if len(data)%rec != 0 || len(data) == 0 {
+		t.Fatalf("size %d not a record multiple of %d", len(data), rec)
+	}
+}
+
+func TestGenControls(t *testing.T) {
+	low := genToFile(t, "-kind", "lowentropy", "-size", "1000", "-alphabet", "2")
+	for _, b := range low {
+		if b > 1 {
+			t.Fatalf("alphabet violation: %d", b)
+		}
+	}
+	rnd := genToFile(t, "-kind", "random", "-size", "1000")
+	if len(rnd) != 1000 {
+		t.Fatalf("size = %d", len(rnd))
+	}
+}
+
+func TestGenMBoneTrace(t *testing.T) {
+	data := genToFile(t, "-kind", "mbone", "-seed", "5")
+	tr, err := trace.Parse(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Duration().Seconds() != 160 {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+}
+
+func TestGenUnknownKind(t *testing.T) {
+	if err := run([]string{"-kind", "nope"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	a := genToFile(t, "-kind", "ois", "-size", "2000", "-seed", "9")
+	b := genToFile(t, "-kind", "ois", "-size", "2000", "-seed", "9")
+	if string(a) != string(b) {
+		t.Fatal("same seed differs")
+	}
+}

@@ -1,0 +1,79 @@
+// Command ccrecv receives an adaptive compressed stream from ccsend and
+// writes the reconstructed bytes to a file or stdout.
+//
+// Usage:
+//
+//	ccrecv -listen :9900 -out copy.dat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"ccx/internal/codec"
+	"ccx/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ccrecv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ccrecv", flag.ContinueOnError)
+	var (
+		listen  = fs.String("listen", "127.0.0.1:9900", "listen address")
+		out     = fs.String("out", "", "output file (default stdout)")
+		verbose = fs.Bool("v", false, "log every received block")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var dst io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
+	conn, err := ln.Accept()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	var blocks, wire, orig int64
+	methods := make(map[codec.Method]int64)
+	r := core.NewReader(conn, nil, func(info codec.BlockInfo) {
+		blocks++
+		wire += int64(info.CompLen)
+		orig += int64(info.OrigLen)
+		methods[info.Method]++
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "block %d: %-15s %7d -> %7d bytes\n",
+				blocks-1, info.Method, info.CompLen, info.OrigLen)
+		}
+	})
+	if _, err := io.Copy(dst, r); err != nil && err != io.EOF {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "received %d blocks, %d wire bytes -> %d bytes", blocks, wire, orig)
+	for m, n := range methods {
+		fmt.Fprintf(os.Stderr, "  %s=%d", m, n)
+	}
+	fmt.Fprintln(os.Stderr)
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ccx/internal/core"
+	"ccx/internal/datagen"
+	"ccx/internal/selector"
+)
+
+// TestRecvRoundtrip drives run() with an in-process adaptive sender.
+func TestRecvRoundtrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "copy.dat")
+	data := datagen.OISTransactions(200<<10, 0.9, 6)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:39217", "-out", out})
+	}()
+
+	// Wait for the listener, then send.
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err = net.Dial("tcp", "127.0.0.1:39217")
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	cfg := selector.DefaultConfig()
+	cfg.BlockSize = 32 << 10
+	engine, err := core.NewEngine(core.Config{Selector: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := core.NewWriter(conn, engine, nil)
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("roundtrip mismatch: %d vs %d bytes", len(got), len(data))
+	}
+}
+
+func TestRecvBadListenAddr(t *testing.T) {
+	if err := run([]string{"-listen", "256.0.0.1:bad"}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestRecvBadOutputPath(t *testing.T) {
+	if err := run([]string{"-listen", "127.0.0.1:0", "-out", "/no/such/dir/file"}); err == nil {
+		t.Fatal("bad output path accepted")
+	}
+}

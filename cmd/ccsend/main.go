@@ -1,0 +1,85 @@
+// Command ccsend streams a file (or stdin) to a ccrecv peer over TCP with
+// configurable compression: each block's method is chosen by the §2.5
+// selection algorithm from live send-timing and data sampling.
+//
+// Usage:
+//
+//	ccrecv -listen :9900 -out copy.dat      # on the receiver
+//	ccsend -addr host:9900 big.dat          # on the sender
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"ccx/internal/core"
+	"ccx/internal/selector"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsend:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ccsend", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:9900", "receiver address")
+		blockSize = fs.Int("block", selector.DefaultBlockSize, "block size in bytes")
+		verbose   = fs.Bool("v", false, "log every block's decision")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		name = fs.Arg(0)
+	}
+
+	cfg := selector.DefaultConfig()
+	cfg.BlockSize = *blockSize
+	engine, err := core.NewEngine(core.Config{Selector: cfg})
+	if err != nil {
+		return err
+	}
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	var blocks, wire, orig int64
+	w := core.NewWriter(conn, engine, func(r core.BlockResult) {
+		blocks++
+		wire += int64(r.WireBytes)
+		orig += int64(r.Info.OrigLen)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "block %d: %-15s %7d -> %7d bytes  send %v  goodput %.2f MB/s\n",
+				r.Index, r.Decision.Method, r.Info.OrigLen, r.Info.CompLen,
+				r.SendTime.Round(1000), engine.Monitor().Goodput()/1e6)
+		}
+	})
+	if _, err := io.Copy(w, in); err != nil {
+		return fmt.Errorf("send %s: %w", name, err)
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if orig > 0 {
+		fmt.Fprintf(os.Stderr, "sent %s: %d blocks, %d bytes original, %d on the wire (%.1f%%)\n",
+			name, blocks, orig, wire, float64(wire)/float64(orig)*100)
+	}
+	return nil
+}

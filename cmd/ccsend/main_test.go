@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ccx/internal/core"
+	"ccx/internal/datagen"
+)
+
+// TestSendRoundtrip runs the real ccsend run() against an in-process
+// receiver and verifies byte-exact delivery.
+func TestSendRoundtrip(t *testing.T) {
+	data := datagen.OISTransactions(300<<10, 0.9, 4)
+	src := filepath.Join(t.TempDir(), "src.dat")
+	if err := os.WriteFile(src, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			got <- nil
+			return
+		}
+		defer conn.Close()
+		r := core.NewReader(conn, nil, nil)
+		out, _ := io.ReadAll(r)
+		got <- out
+	}()
+
+	if err := run([]string{"-addr", ln.Addr().String(), "-block", "32768", src}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(<-got, data) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestSendMissingFile(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:1", "/does/not/exist"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSendConnectionRefused(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "src.dat")
+	os.WriteFile(src, []byte("x"), 0o644)
+	// Port 1 is essentially guaranteed closed.
+	if err := run([]string{"-addr", "127.0.0.1:1", src}); err == nil {
+		t.Fatal("dead address accepted")
+	}
+}

@@ -1,0 +1,11 @@
+// Package ccx is a from-scratch Go reproduction of "Efficient End to End
+// Data Exchange Using Configurable Compression" (Wiseman, Schwan, Widener —
+// ICDCS 2004): middleware-integrated, automatically configured lossless
+// compression that matches data rates to current network bandwidth, CPU
+// capacity and data compressibility.
+//
+// The root module holds the benchmark harness (bench_test.go, one
+// testing.B target per paper table/figure); the system lives under
+// internal/ (see DESIGN.md for the inventory) with executables in cmd/ and
+// runnable scenarios in examples/.
+package ccx

@@ -1,0 +1,3 @@
+module ccx
+
+go 1.22

@@ -1,0 +1,171 @@
+package arith
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundtrip(t *testing.T, data []byte) {
+	t.Helper()
+	out, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(out, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatalf("roundtrip mismatch (len %d)", len(data))
+	}
+}
+
+func TestRoundtripBasic(t *testing.T) {
+	roundtrip(t, []byte("hello arithmetic coding world, hello again"))
+}
+
+func TestRoundtripEmpty(t *testing.T) {
+	out, err := Compress(nil)
+	if err != nil || out != nil {
+		t.Fatalf("Compress(nil) = %v, %v", out, err)
+	}
+	back, err := Decompress(nil, 0)
+	if err != nil || back != nil {
+		t.Fatalf("Decompress(nil, 0) = %v, %v", back, err)
+	}
+}
+
+func TestRoundtripSingleByte(t *testing.T) {
+	for _, b := range []byte{0, 1, 127, 255} {
+		roundtrip(t, []byte{b})
+	}
+}
+
+func TestRoundtripAllBytes(t *testing.T) {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	roundtrip(t, data)
+}
+
+func TestRoundtripUniform(t *testing.T) {
+	roundtrip(t, bytes.Repeat([]byte{0xAB}, 50000))
+}
+
+func TestRoundtripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 255, 256, 257, 4096, 100000} {
+		data := make([]byte, n)
+		rng.Read(data)
+		roundtrip(t, data)
+	}
+}
+
+func TestRoundtripRescaleBoundary(t *testing.T) {
+	// Enough repeated symbols to force multiple model rescales
+	// (maxTotal/increment ≈ 2048 updates per rescale cycle).
+	data := bytes.Repeat([]byte("ab"), 20000)
+	roundtrip(t, data)
+}
+
+func TestCompressionEffectiveness(t *testing.T) {
+	// Low-entropy data must compress well: ~2 bits/byte source entropy.
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 64*1024)
+	for i := range data {
+		data[i] = byte(rng.Intn(4))
+	}
+	out, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(out)) / float64(len(data)); ratio > 0.30 {
+		t.Fatalf("low-entropy ratio = %.3f, want < 0.30", ratio)
+	}
+	// Arithmetic coding can beat Huffman's 1-bit floor on skewed data.
+	skew := make([]byte, 64*1024)
+	for i := range skew {
+		if rng.Intn(100) == 0 {
+			skew[i] = 1
+		}
+	}
+	outSkew, _ := Compress(skew)
+	if ratio := float64(len(outSkew)) / float64(len(skew)); ratio > 0.125 {
+		t.Fatalf("skewed ratio = %.3f, want < 1 bit/byte", ratio)
+	}
+}
+
+func TestRandomDataNearIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 64*1024)
+	rng.Read(data)
+	out, _ := Compress(data)
+	if len(out) < len(data)*99/100 {
+		t.Fatalf("random data 'compressed' to %d of %d bytes", len(out), len(data))
+	}
+}
+
+func TestDecompressGarbage(t *testing.T) {
+	// Garbage input must either decode to *some* bytes or fail cleanly; it
+	// must never panic. (Every 32-bit value is a valid code prefix under an
+	// adaptive model, so errors are not guaranteed — just safety.)
+	garbage := []byte{0xFF, 0x00, 0x12, 0x34}
+	if _, err := Decompress(garbage, 10); err != nil && err != ErrCorrupt {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(data []byte) bool {
+		out, err := Compress(data)
+		if err != nil {
+			return false
+		}
+		back, err := Decompress(out, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 64*1024)
+	for i := range data {
+		data[i] = byte(rng.Intn(16))
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 64*1024)
+	for i := range data {
+		data[i] = byte(rng.Intn(16))
+	}
+	out, err := Compress(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(out, len(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

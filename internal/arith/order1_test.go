@@ -1,0 +1,118 @@
+package arith
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccx/internal/datagen"
+)
+
+func roundtrip1(t *testing.T, data []byte) {
+	t.Helper()
+	out, err := CompressOrder1(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecompressOrder1(out, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatalf("roundtrip mismatch (len %d)", len(data))
+	}
+}
+
+func TestOrder1RoundtripBasic(t *testing.T) {
+	roundtrip1(t, []byte("the quick brown fox; the quick brown fox; the quick brown fox"))
+}
+
+func TestOrder1Empty(t *testing.T) {
+	out, err := CompressOrder1(nil)
+	if err != nil || out != nil {
+		t.Fatalf("got %v %v", out, err)
+	}
+	back, err := DecompressOrder1(nil, 0)
+	if err != nil || back != nil {
+		t.Fatalf("got %v %v", back, err)
+	}
+}
+
+func TestOrder1RoundtripVarious(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cases := [][]byte{
+		{0}, {255},
+		bytes.Repeat([]byte{9}, 10000),
+		datagen.OISTransactions(50000, 0.9, 2),
+		datagen.Random(20000, 3),
+		datagen.LowEntropy(30000, 3, 4),
+	}
+	mixed := make([]byte, 40000)
+	rng.Read(mixed[:20000]) // half random, half text
+	copy(mixed[20000:], datagen.OISTransactions(20000, 0.9, 5))
+	cases = append(cases, mixed)
+	for i, c := range cases {
+		_ = i
+		roundtrip1(t, c)
+	}
+}
+
+// TestOrder1BeatsOrder0OnText is the point of the upgrade: first-order
+// context exploits character correlation that order-0 cannot see.
+func TestOrder1BeatsOrder0OnText(t *testing.T) {
+	data := datagen.OISTransactions(256<<10, 0.9, 1)
+	o0, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, err := CompressOrder1(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := float64(len(o0)) / float64(len(data))
+	r1 := float64(len(o1)) / float64(len(data))
+	t.Logf("order-0 %.3f vs order-1 %.3f", r0, r1)
+	if r1 >= r0*0.85 {
+		t.Fatalf("order-1 (%.3f) should beat order-0 (%.3f) by >15%% on text", r1, r0)
+	}
+}
+
+func TestOrder1RandomStaysRandom(t *testing.T) {
+	data := datagen.Random(64<<10, 7)
+	out, err := CompressOrder1(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) < len(data)*99/100 {
+		t.Fatalf("random data 'compressed' to %d of %d", len(out), len(data))
+	}
+}
+
+func TestOrder1QuickRoundtrip(t *testing.T) {
+	f := func(data []byte) bool {
+		out, err := CompressOrder1(data)
+		if err != nil {
+			return false
+		}
+		back, err := DecompressOrder1(out, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompressOrder1_64K(b *testing.B) {
+	data := datagen.OISTransactions(64<<10, 0.9, 1)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressOrder1(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

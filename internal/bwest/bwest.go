@@ -1,0 +1,147 @@
+// Package bwest implements end-to-end available-bandwidth estimation in the
+// style of Jain & Dovrolis's SLoPS/pathload (the paper's refs [12,13]).
+// The paper's middleware architecture explicitly "accommodates ... different
+// network measurement techniques"; this package is the pluggable
+// alternative to the passive per-block monitor (internal/bwmon): instead of
+// waiting for data blocks to reveal the rate, it actively probes with
+// periodic packet streams and binary-searches the rate at which one-way
+// delays start trending upward.
+//
+// The estimator runs against anything that can report per-packet service
+// times — a simulated link (netsim), or measurements harvested from a real
+// path.
+package bwest
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"ccx/internal/netsim"
+)
+
+// Prober abstracts the path under measurement: the time the bottleneck
+// needs to serialize one packet of n bytes at this instant.
+type Prober interface {
+	ServiceTime(n int) time.Duration
+}
+
+// LinkProber adapts a simulated link to the Prober interface.
+type LinkProber struct {
+	Link *netsim.Link
+}
+
+// ServiceTime implements Prober by sampling the link's instantaneous
+// available rate.
+func (p LinkProber) ServiceTime(n int) time.Duration {
+	rate := p.Link.AvailableRate()
+	if rate <= 0 {
+		return time.Hour
+	}
+	return time.Duration(float64(n) / rate * float64(time.Second))
+}
+
+// ErrNoConvergence is returned when the search range never brackets the
+// available bandwidth.
+var ErrNoConvergence = errors.New("bwest: estimate did not converge")
+
+// SLoPS is a self-loading periodic-stream estimator.
+type SLoPS struct {
+	// PacketSize is the probe packet size in bytes (default 1472, an
+	// Ethernet-MTU UDP payload).
+	PacketSize int
+	// StreamLen is packets per probing stream (default 100, the pathload
+	// fleet size).
+	StreamLen int
+	// MinRate and MaxRate bracket the binary search in bytes/s
+	// (defaults 10 kB/s and 1 GB/s).
+	MinRate, MaxRate float64
+	// Iterations bounds the binary search (default 24; the search runs in
+	// log space, so this resolves any rate in [MinRate,MaxRate] to ≪1 %).
+	Iterations int
+	// IncreaseThreshold is the pairwise-comparison fraction above which a
+	// delay series counts as trending upward (default 0.66, the PCT
+	// threshold from the paper's refs).
+	IncreaseThreshold float64
+}
+
+func (s SLoPS) withDefaults() SLoPS {
+	if s.PacketSize <= 0 {
+		s.PacketSize = 1472
+	}
+	if s.StreamLen <= 1 {
+		s.StreamLen = 100
+	}
+	if s.MinRate <= 0 {
+		s.MinRate = 10e3
+	}
+	if s.MaxRate <= s.MinRate {
+		s.MaxRate = 1e9
+	}
+	if s.Iterations <= 0 {
+		s.Iterations = 24
+	}
+	if s.IncreaseThreshold <= 0 || s.IncreaseThreshold >= 1 {
+		s.IncreaseThreshold = 0.66
+	}
+	return s
+}
+
+// Estimate returns the available bandwidth in bytes/s.
+func (s SLoPS) Estimate(path Prober) (float64, error) {
+	s = s.withDefaults()
+	lo, hi := s.MinRate, s.MaxRate
+	// Verify the bracket: the path must self-load at hi and drain at lo.
+	if !s.loaded(path, hi) {
+		// Even the maximum rate doesn't build a queue: available bandwidth
+		// is at or above MaxRate.
+		return s.MaxRate, nil
+	}
+	if s.loaded(path, lo) {
+		return 0, ErrNoConvergence
+	}
+	// Rates span decades, so bisect geometrically: the relative resolution
+	// after k steps is (hi/lo)^(1/2^k) regardless of where the answer sits.
+	for i := 0; i < s.Iterations; i++ {
+		mid := math.Sqrt(lo * hi)
+		if s.loaded(path, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return math.Sqrt(lo * hi), nil
+}
+
+// loaded sends one periodic stream at the given rate and reports whether
+// one-way delays trend upward (rate exceeds available bandwidth).
+func (s SLoPS) loaded(path Prober, rate float64) bool {
+	gap := time.Duration(float64(s.PacketSize) / rate * float64(time.Second))
+	delays := make([]time.Duration, s.StreamLen)
+	var busyUntil time.Duration
+	for i := 0; i < s.StreamLen; i++ {
+		depart := time.Duration(i) * gap
+		if depart > busyUntil {
+			busyUntil = depart
+		}
+		busyUntil += path.ServiceTime(s.PacketSize)
+		delays[i] = busyUntil - depart
+	}
+	return pct(delays) > s.IncreaseThreshold
+}
+
+// pct is the pairwise comparison test statistic: the fraction of
+// consecutive delay pairs that strictly increase. ≈0.5 for noise, →1 for a
+// self-loading stream.
+func pct(delays []time.Duration) float64 {
+	if len(delays) < 2 {
+		return 0
+	}
+	inc := 0
+	for i := 1; i < len(delays); i++ {
+		if delays[i] > delays[i-1] {
+			inc++
+		}
+	}
+	return float64(inc) / float64(len(delays)-1)
+}

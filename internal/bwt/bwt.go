@@ -1,0 +1,406 @@
+// Package bwt implements the paper's adapted Burrows-Wheeler compression
+// pipeline (§2.4). The stages are exactly the paper's:
+//
+//  1. The input is split into chunks; each chunk is Burrows-Wheeler
+//     transformed (sorting all cyclic rotations).
+//  2. Each transformed chunk runs through move-to-front coding.
+//  3. Run-length coding with runs capped at 254 so that byte 255 never
+//     appears inside a chunk; byte 255 is instead appended to the end of
+//     every chunk as a synchronization marker.
+//  4. All chunks are compressed jointly with a single Huffman code. Because
+//     canonical Huffman decoding self-synchronizes (ref [31]), a receiver
+//     that starts mid-stream can scan to the next 255 marker and resume on
+//     a chunk boundary — the property the paper adds for out-of-order
+//     block delivery.
+//
+// Rotation sorting uses counting-sort prefix doubling (O(n log n)), fast
+// enough for the paper's block regime (≤128 KB) without the engineering
+// burden of SA-IS.
+package bwt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ccx/internal/huffman"
+)
+
+// DefaultChunkSize is the per-chunk unit for transform and synchronization.
+// Larger chunks compress better but sort slower — the paper's tradeoff of
+// "shorter files are less effectively compressed".
+const DefaultChunkSize = 16 * 1024
+
+// marker is the reserved synchronization byte that terminates every chunk.
+const marker = 0xFF
+
+// ErrCorrupt is returned for malformed or truncated compressed data.
+var ErrCorrupt = errors.New("bwt: corrupt input")
+
+// Transform computes the Burrows-Wheeler transform of src: the last column
+// of the sorted rotation matrix, plus the row index at which the original
+// string appears. src is unmodified.
+func Transform(src []byte) (last []byte, primary int) {
+	n := len(src)
+	if n == 0 {
+		return nil, 0
+	}
+	if n == 1 {
+		return []byte{src[0]}, 0
+	}
+	sa := sortRotations(src)
+	last = make([]byte, n)
+	for i, r := range sa {
+		last[i] = src[(r+n-1)%n]
+		if r == 0 {
+			primary = i
+		}
+	}
+	return last, primary
+}
+
+// sortRotations returns the start offsets of the cyclic rotations of src in
+// lexicographic order. It is the cyclic-shift variant of the Manber-Myers
+// doubling algorithm: each doubling round re-sorts with a counting sort, so
+// the whole construction is O(n log n) with small constants — fast enough
+// that the paper's "split into chunks to reduce sorting cost" tradeoff is
+// about compression granularity, not wall time.
+func sortRotations(src []byte) []int {
+	n := len(src)
+	const alphabet = 256
+	p := make([]int, n) // rotations in current sorted order
+	c := make([]int, n) // equivalence class of each rotation prefix
+	cntSize := n + 1
+	if cntSize < alphabet {
+		cntSize = alphabet
+	}
+	cnt := make([]int, cntSize)
+
+	// Round 0: counting sort by first character.
+	for i := 0; i < n; i++ {
+		cnt[src[i]]++
+	}
+	for i := 1; i < alphabet; i++ {
+		cnt[i] += cnt[i-1]
+	}
+	for i := 0; i < n; i++ {
+		cnt[src[i]]--
+		p[cnt[src[i]]] = i
+	}
+	c[p[0]] = 0
+	classes := 1
+	for i := 1; i < n; i++ {
+		if src[p[i]] != src[p[i-1]] {
+			classes++
+		}
+		c[p[i]] = classes - 1
+	}
+
+	pn := make([]int, n)
+	cn := make([]int, n)
+	for h := 1; h < n && classes < n; h <<= 1 {
+		// Sort by the second half: shifting the already-sorted order left by
+		// h yields the order of second halves for free.
+		for i := 0; i < n; i++ {
+			pn[i] = p[i] - h
+			if pn[i] < 0 {
+				pn[i] += n
+			}
+		}
+		// Stable counting sort by first-half class.
+		for i := 0; i < classes; i++ {
+			cnt[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			cnt[c[pn[i]]]++
+		}
+		for i := 1; i < classes; i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for i := n - 1; i >= 0; i-- {
+			cnt[c[pn[i]]]--
+			p[cnt[c[pn[i]]]] = pn[i]
+		}
+		// Recompute classes over (first-half, second-half) pairs.
+		cn[p[0]] = 0
+		classes = 1
+		for i := 1; i < n; i++ {
+			curA, curB := c[p[i]], c[(p[i]+h)%n]
+			prevA, prevB := c[p[i-1]], c[(p[i-1]+h)%n]
+			if curA != prevA || curB != prevB {
+				classes++
+			}
+			cn[p[i]] = classes - 1
+		}
+		c, cn = cn, c
+	}
+	return p
+}
+
+// Inverse reverses Transform.
+func Inverse(last []byte, primary int) ([]byte, error) {
+	n := len(last)
+	if n == 0 {
+		return nil, nil
+	}
+	if primary < 0 || primary >= n {
+		return nil, fmt.Errorf("%w: primary index %d out of range", ErrCorrupt, primary)
+	}
+	// LF mapping: LF(i) = C[last[i]] + occ(last[i], i).
+	var count [256]int
+	for _, b := range last {
+		count[b]++
+	}
+	var c [256]int
+	sum := 0
+	for v := 0; v < 256; v++ {
+		c[v] = sum
+		sum += count[v]
+	}
+	lf := make([]int, n)
+	var seen [256]int
+	for i, b := range last {
+		lf[i] = c[b] + seen[b]
+		seen[b]++
+	}
+	dst := make([]byte, n)
+	row := primary
+	for k := n - 1; k >= 0; k-- {
+		dst[k] = last[row]
+		row = lf[row]
+	}
+	return dst, nil
+}
+
+// MTFEncode applies move-to-front coding: each output byte is the current
+// list position of the input byte, which is then moved to position 0.
+func MTFEncode(src []byte) []byte {
+	var list [256]byte
+	for i := range list {
+		list[i] = byte(i)
+	}
+	dst := make([]byte, len(src))
+	for i, b := range src {
+		var pos int
+		for list[pos] != b {
+			pos++
+		}
+		dst[i] = byte(pos)
+		copy(list[1:pos+1], list[0:pos])
+		list[0] = b
+	}
+	return dst
+}
+
+// MTFDecode reverses MTFEncode.
+func MTFDecode(src []byte) []byte {
+	var list [256]byte
+	for i := range list {
+		list[i] = byte(i)
+	}
+	dst := make([]byte, len(src))
+	for i, p := range src {
+		b := list[p]
+		dst[i] = b
+		copy(list[1:int(p)+1], list[0:int(p)])
+		list[0] = b
+	}
+	return dst
+}
+
+// RLEEncode run-length codes src with the paper's constraint that byte 255
+// never appears in the output. Values 0..253 are emitted directly; a run of
+// three identical such values is always followed by one count byte giving up
+// to 251 additional repeats (total run ≤ 254, the paper's cap). Values 254
+// and 255 are escaped as the pairs (254,0) and (254,1).
+func RLEEncode(src []byte) []byte {
+	dst := make([]byte, 0, len(src)+len(src)/64+8)
+	i := 0
+	for i < len(src) {
+		v := src[i]
+		if v >= 254 {
+			dst = append(dst, 254, v-254)
+			i++
+			continue
+		}
+		run := 1
+		for i+run < len(src) && src[i+run] == v && run < 254 {
+			run++
+		}
+		switch {
+		case run < 3:
+			for j := 0; j < run; j++ {
+				dst = append(dst, v)
+			}
+		default:
+			dst = append(dst, v, v, v, byte(run-3))
+		}
+		i += run
+	}
+	return dst
+}
+
+// RLEDecode reverses RLEEncode. It stops at end of input; encountering the
+// reserved byte 255 is an error at this layer (it only appears as the chunk
+// marker, which the caller strips).
+func RLEDecode(src []byte) ([]byte, error) {
+	dst := make([]byte, 0, len(src)*2)
+	streak := 0
+	var prev byte
+	for i := 0; i < len(src); i++ {
+		b := src[i]
+		switch {
+		case b == marker:
+			return nil, fmt.Errorf("%w: reserved marker byte inside chunk", ErrCorrupt)
+		case b == 254:
+			i++
+			if i >= len(src) || src[i] > 1 {
+				return nil, fmt.Errorf("%w: bad escape", ErrCorrupt)
+			}
+			dst = append(dst, 254+src[i])
+			streak = 0
+		default:
+			if streak > 0 && b == prev {
+				streak++
+			} else {
+				streak = 1
+				prev = b
+			}
+			dst = append(dst, b)
+			if streak == 3 {
+				i++
+				if i >= len(src) {
+					return nil, fmt.Errorf("%w: truncated run count", ErrCorrupt)
+				}
+				extra := int(src[i])
+				if extra > 251 {
+					return nil, fmt.Errorf("%w: run count %d exceeds cap", ErrCorrupt, extra)
+				}
+				for j := 0; j < extra; j++ {
+					dst = append(dst, b)
+				}
+				streak = 0
+			}
+		}
+	}
+	return dst, nil
+}
+
+// encode7 writes v as four 7-bit bytes (each ≤ 0x7F, so never the marker).
+func encode7(dst []byte, v int) []byte {
+	return append(dst,
+		byte(v>>21&0x7F), byte(v>>14&0x7F), byte(v>>7&0x7F), byte(v&0x7F))
+}
+
+func decode7(src []byte) (int, error) {
+	if len(src) < 4 {
+		return 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	v := 0
+	for i := 0; i < 4; i++ {
+		if src[i] > 0x7F {
+			return 0, fmt.Errorf("%w: header byte %#x out of range", ErrCorrupt, src[i])
+		}
+		v = v<<7 | int(src[i])
+	}
+	return v, nil
+}
+
+// Compress runs the full pipeline with DefaultChunkSize.
+func Compress(src []byte) ([]byte, error) {
+	return CompressChunked(src, DefaultChunkSize)
+}
+
+// CompressChunked runs the full pipeline with an explicit chunk size.
+func CompressChunked(src []byte, chunkSize int) ([]byte, error) {
+	if len(src) == 0 {
+		return nil, nil
+	}
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("bwt: invalid chunk size %d", chunkSize)
+	}
+	// Build the marker-delimited intermediate stream.
+	inter := make([]byte, 0, len(src)/2+64)
+	for off := 0; off < len(src); off += chunkSize {
+		end := off + chunkSize
+		if end > len(src) {
+			end = len(src)
+		}
+		chunk := src[off:end]
+		last, primary := Transform(chunk)
+		rle := RLEEncode(MTFEncode(last))
+		inter = encode7(inter, len(chunk))
+		inter = encode7(inter, primary)
+		inter = append(inter, rle...)
+		inter = append(inter, marker)
+	}
+	// Joint Huffman over every chunk (§2.4: "all of the chunks are
+	// compressed jointly using Huffman coding").
+	hc, err := huffman.Compress(inter)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(hc)+binary.MaxVarintLen64)
+	out = binary.AppendUvarint(out, uint64(len(inter)))
+	return append(out, hc...), nil
+}
+
+// Decompress reverses Compress/CompressChunked, producing exactly origLen
+// bytes. The chunk size is self-describing (each chunk header carries its
+// original length), so the decoder does not need the encoder's setting.
+func Decompress(src []byte, origLen int) ([]byte, error) {
+	if origLen == 0 {
+		return nil, nil
+	}
+	interLen, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad stream header", ErrCorrupt)
+	}
+	if interLen > uint64(origLen)*3+4096 {
+		return nil, fmt.Errorf("%w: implausible intermediate length %d", ErrCorrupt, interLen)
+	}
+	inter, err := huffman.Decompress(src[n:], int(interLen))
+	if err != nil {
+		return nil, err
+	}
+	dst := make([]byte, 0, origLen)
+	for len(inter) > 0 {
+		chunkLen, err := decode7(inter)
+		if err != nil {
+			return nil, err
+		}
+		primary, err := decode7(inter[4:])
+		if err != nil {
+			return nil, err
+		}
+		inter = inter[8:]
+		// Chunk body runs to the next marker byte.
+		end := 0
+		for end < len(inter) && inter[end] != marker {
+			end++
+		}
+		if end == len(inter) {
+			return nil, fmt.Errorf("%w: missing chunk marker", ErrCorrupt)
+		}
+		mtf, err := RLEDecode(inter[:end])
+		if err != nil {
+			return nil, err
+		}
+		if len(mtf) != chunkLen {
+			return nil, fmt.Errorf("%w: chunk length %d != header %d", ErrCorrupt, len(mtf), chunkLen)
+		}
+		chunk, err := Inverse(MTFDecode(mtf), primary)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, chunk...)
+		if len(dst) > origLen {
+			return nil, fmt.Errorf("%w: output exceeds original length", ErrCorrupt)
+		}
+		inter = inter[end+1:]
+	}
+	if len(dst) != origLen {
+		return nil, fmt.Errorf("%w: produced %d bytes, want %d", ErrCorrupt, len(dst), origLen)
+	}
+	return dst, nil
+}

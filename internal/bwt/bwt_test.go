@@ -1,0 +1,376 @@
+package bwt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformKnownVector(t *testing.T) {
+	// The canonical BWT example: "banana".
+	last, primary := Transform([]byte("banana"))
+	// Sorted rotations:
+	//   abanan(5) ananab(3)? — verify instead via inverse below, but the
+	//   last column of sorted rotations of "banana" is well known: "nnbaaa".
+	if string(last) != "nnbaaa" {
+		t.Fatalf("last column = %q, want %q", last, "nnbaaa")
+	}
+	back, err := Inverse(last, primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != "banana" {
+		t.Fatalf("inverse = %q", back)
+	}
+}
+
+func TestTransformEmpty(t *testing.T) {
+	last, primary := Transform(nil)
+	if last != nil || primary != 0 {
+		t.Fatalf("got %v %d", last, primary)
+	}
+	back, err := Inverse(nil, 0)
+	if err != nil || back != nil {
+		t.Fatalf("got %v %v", back, err)
+	}
+}
+
+func TestTransformSingle(t *testing.T) {
+	last, primary := Transform([]byte{'z'})
+	if string(last) != "z" || primary != 0 {
+		t.Fatalf("got %q %d", last, primary)
+	}
+}
+
+func TestTransformPeriodic(t *testing.T) {
+	// All rotations of a periodic string are equal per period class; the
+	// prefix-doubling loop must terminate and invert correctly.
+	for _, s := range []string{"aaaa", "abababab", "xyzxyzxyz"} {
+		last, primary := Transform([]byte(s))
+		back, err := Inverse(last, primary)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if string(back) != s {
+			t.Fatalf("%q: inverse = %q", s, back)
+		}
+	}
+}
+
+func TestTransformIsPermutation(t *testing.T) {
+	data := []byte("the burrows wheeler transform permutes but never loses bytes")
+	last, _ := Transform(data)
+	want := append([]byte(nil), data...)
+	got := append([]byte(nil), last...)
+	for _, s := range [][]byte{want, got} {
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j-1] > s[j]; j-- {
+				s[j-1], s[j] = s[j], s[j-1]
+			}
+		}
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("transform output is not a permutation of input")
+	}
+}
+
+func TestInverseBadPrimary(t *testing.T) {
+	if _, err := Inverse([]byte("abc"), 3); err == nil {
+		t.Fatal("expected error for out-of-range primary")
+	}
+	if _, err := Inverse([]byte("abc"), -1); err == nil {
+		t.Fatal("expected error for negative primary")
+	}
+}
+
+func TestMTFRoundtrip(t *testing.T) {
+	cases := [][]byte{
+		[]byte("mississippi"),
+		{0, 0, 0, 255, 255, 1, 2, 3},
+		bytes.Repeat([]byte{9}, 1000),
+		{},
+	}
+	for i, data := range cases {
+		enc := MTFEncode(data)
+		dec := MTFDecode(enc)
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("case %d: roundtrip mismatch", i)
+		}
+	}
+}
+
+func TestMTFFrontLoading(t *testing.T) {
+	// Repeated bytes must map to zeros after the first occurrence.
+	enc := MTFEncode([]byte{7, 7, 7, 7})
+	if enc[0] != 7 {
+		t.Fatalf("first position = %d, want original list index 7", enc[0])
+	}
+	for i := 1; i < 4; i++ {
+		if enc[i] != 0 {
+			t.Fatalf("position %d = %d, want 0", i, enc[i])
+		}
+	}
+}
+
+func TestRLERoundtrip(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{1, 2, 3},
+		bytes.Repeat([]byte{0}, 1000),  // long zero run (typical MTF output)
+		bytes.Repeat([]byte{5}, 3),     // exactly the triple threshold
+		bytes.Repeat([]byte{5}, 254),   // exactly the cap
+		bytes.Repeat([]byte{5}, 255),   // one over the cap
+		bytes.Repeat([]byte{5}, 600),   // multiple capped runs
+		{254, 254, 255, 255, 255, 253}, // escape values
+		bytes.Repeat([]byte{255}, 10),  // runs of the escaped value
+		{253, 253, 253, 253, 254, 0, 255},
+	}
+	for i, data := range cases {
+		enc := RLEEncode(data)
+		for _, b := range enc {
+			if b == 255 {
+				t.Fatalf("case %d: reserved byte 255 appears in RLE output", i)
+			}
+		}
+		dec, err := RLEDecode(enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("case %d: roundtrip mismatch: got %v want %v", i, dec, data)
+		}
+	}
+}
+
+func TestRLENever255(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		data := make([]byte, rng.Intn(5000))
+		for i := range data {
+			// Bias toward runs and high values.
+			if rng.Intn(3) == 0 && i > 0 {
+				data[i] = data[i-1]
+			} else {
+				data[i] = byte(rng.Intn(256))
+			}
+		}
+		enc := RLEEncode(data)
+		if bytes.IndexByte(enc, 255) >= 0 {
+			t.Fatal("reserved byte in output")
+		}
+		dec, err := RLEDecode(enc)
+		if err != nil || !bytes.Equal(dec, data) {
+			t.Fatalf("roundtrip failed: %v", err)
+		}
+	}
+}
+
+func TestRLEDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{255},          // marker inside chunk
+		{254},          // truncated escape
+		{254, 2},       // bad escape discriminator
+		{7, 7, 7},      // missing run count
+		{7, 7, 7, 252}, // run count over cap
+	}
+	for i, c := range cases {
+		if _, err := RLEDecode(c); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func roundtrip(t *testing.T, data []byte, chunk int) {
+	t.Helper()
+	out, err := CompressChunked(data, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(out, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatalf("roundtrip mismatch (len %d, chunk %d)", len(data), chunk)
+	}
+}
+
+func TestCompressRoundtrip(t *testing.T) {
+	data := bytes.Repeat([]byte("effective end to end data exchange using configurable compression. "), 500)
+	for _, chunk := range []int{64, 1024, DefaultChunkSize, 1 << 20} {
+		roundtrip(t, data, chunk)
+	}
+}
+
+func TestCompressEmpty(t *testing.T) {
+	out, err := Compress(nil)
+	if err != nil || out != nil {
+		t.Fatalf("got %v %v", out, err)
+	}
+	back, err := Decompress(nil, 0)
+	if err != nil || back != nil {
+		t.Fatalf("got %v %v", back, err)
+	}
+}
+
+func TestCompressSmall(t *testing.T) {
+	for n := 1; n < 20; n++ {
+		data := bytes.Repeat([]byte{'q'}, n)
+		roundtrip(t, data, DefaultChunkSize)
+	}
+}
+
+func TestCompressRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 100, 4096, 50000} {
+		data := make([]byte, n)
+		rng.Read(data)
+		roundtrip(t, data, 8192)
+	}
+}
+
+func TestCompressAllByteValues(t *testing.T) {
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	roundtrip(t, data, 1024)
+}
+
+func TestCompressInvalidChunk(t *testing.T) {
+	if _, err := CompressChunked([]byte("x"), 0); err == nil {
+		t.Fatal("expected error for chunk size 0")
+	}
+}
+
+func TestCompressionBeatsLZStyleOnText(t *testing.T) {
+	// The paper ranks BWT as the strongest method on repetitive text.
+	data := bytes.Repeat([]byte("operational information system transaction; airline booking record; "), 1500)
+	out, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(out)) / float64(len(data)); ratio > 0.10 {
+		t.Fatalf("BWT ratio on repetitive text = %.3f, want < 0.10", ratio)
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	data := bytes.Repeat([]byte("payload "), 500)
+	out, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(out[:len(out)/3], len(data)); err == nil {
+		t.Fatal("expected error on truncation")
+	}
+	if _, err := Decompress([]byte{0x01}, 10); err == nil {
+		t.Fatal("expected error on garbage")
+	}
+	// Wrong original length must be detected.
+	if _, err := Decompress(out, len(data)+1); err == nil {
+		t.Fatal("expected error on wrong length")
+	}
+}
+
+func TestQuickTransformRoundtrip(t *testing.T) {
+	f := func(data []byte) bool {
+		last, primary := Transform(data)
+		back, err := Inverse(last, primary)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPipelineRoundtrip(t *testing.T) {
+	f := func(data []byte) bool {
+		out, err := CompressChunked(data, 512)
+		if err != nil {
+			return false
+		}
+		back, err := Decompress(out, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTransform16K(b *testing.B) {
+	motif := []byte("the burrows wheeler transform sorts rotations ")
+	data := bytes.Repeat(motif, 16*1024/len(motif)+1)[:16*1024]
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Transform(data)
+	}
+}
+
+func BenchmarkCompress128K(b *testing.B) {
+	motif := []byte("transaction: passenger rebooked ATL->JFK seat 22A; ")
+	data := bytes.Repeat(motif, 128*1024/len(motif)+1)[:128*1024]
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress128K(b *testing.B) {
+	motif := []byte("transaction: passenger rebooked ATL->JFK seat 22A; ")
+	data := bytes.Repeat(motif, 128*1024/len(motif)+1)[:128*1024]
+	out, err := Compress(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(out, len(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSortRotationsOracle compares the counting-sort rotation sorter against
+// a naive string-comparison oracle on random inputs (ties between equal
+// rotations may order differently; compare the rotation *strings*).
+func TestSortRotationsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(200) + 1
+		data := make([]byte, n)
+		alphabet := rng.Intn(4) + 1 // small alphabets stress tie handling
+		for i := range data {
+			data[i] = byte(rng.Intn(1 << (alphabet * 2)))
+		}
+		rot := func(start int) string {
+			return string(data[start:]) + string(data[:start])
+		}
+		got := sortRotations(data)
+		if len(got) != n {
+			t.Fatalf("trial %d: %d offsets for n=%d", trial, len(got), n)
+		}
+		seen := make([]bool, n)
+		for i, off := range got {
+			if off < 0 || off >= n || seen[off] {
+				t.Fatalf("trial %d: bad permutation at %d", trial, i)
+			}
+			seen[off] = true
+			if i > 0 && rot(got[i-1]) > rot(off) {
+				t.Fatalf("trial %d: rotations out of order at %d", trial, i)
+			}
+		}
+	}
+}

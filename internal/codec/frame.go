@@ -1,0 +1,235 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame header layout (see DESIGN.md §5):
+//
+//	magic(2) version(1) method(1) flags(1)
+//	origLen(uvarint) compLen(uvarint) crc32(4) payload(compLen)
+//
+// The CRC (Castagnoli) covers the payload only; header corruption surfaces
+// as magic/length errors.
+const (
+	magic0 = 0xEC // "ECho"-flavoured magic
+	magic1 = 0x40
+	// FrameVersion is the current wire version.
+	FrameVersion = 1
+	// maxFrameLen bounds a single frame's original length (16 MiB), keeping
+	// hostile headers from driving huge allocations.
+	maxFrameLen = 16 << 20
+)
+
+// Frame flags.
+const (
+	// FlagFallback records that the sender requested a compressing method
+	// but the payload expanded, so the block was sent raw instead.
+	FlagFallback = 1 << 0
+)
+
+// Frame errors.
+var (
+	ErrBadMagic   = errors.New("codec: bad frame magic")
+	ErrBadVersion = errors.New("codec: unsupported frame version")
+	ErrChecksum   = errors.New("codec: frame checksum mismatch")
+	ErrFrameSize  = errors.New("codec: frame length out of bounds")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// BlockInfo describes one decoded frame.
+type BlockInfo struct {
+	// Method is the compression method actually used on the wire (after any
+	// expansion fallback).
+	Method Method
+	// Requested is the method the sender asked for. It differs from Method
+	// only when FlagFallback is set.
+	Requested Method
+	// OrigLen and CompLen are the block's original and on-wire payload
+	// sizes in bytes.
+	OrigLen, CompLen int
+	// Fallback reports whether the block fell back to raw transport because
+	// compression expanded it.
+	Fallback bool
+}
+
+// Ratio returns CompLen/OrigLen, the fraction of the original size that
+// crossed the wire (1 for empty blocks).
+func (b BlockInfo) Ratio() float64 {
+	if b.OrigLen == 0 {
+		return 1
+	}
+	return float64(b.CompLen) / float64(b.OrigLen)
+}
+
+// A FrameWriter compresses blocks and writes them as self-describing frames.
+type FrameWriter struct {
+	w   io.Writer
+	reg *Registry
+	hdr []byte
+}
+
+// NewFrameWriter returns a FrameWriter using the default registry; pass a
+// non-nil reg to use custom codecs.
+func NewFrameWriter(w io.Writer, reg *Registry) *FrameWriter {
+	if reg == nil {
+		reg = defaultRegistry
+	}
+	return &FrameWriter{w: w, reg: reg, hdr: make([]byte, 0, 32)}
+}
+
+// AppendFrame compresses data with the requested method from reg (nil =
+// default registry) and appends one complete frame to dst. If the
+// compressed payload is not smaller than the original, the block is sent
+// raw and flagged (the paper's selector already avoids such blocks, but
+// the wire format guarantees we never expand traffic).
+func AppendFrame(dst []byte, reg *Registry, m Method, data []byte) ([]byte, BlockInfo, error) {
+	if reg == nil {
+		reg = defaultRegistry
+	}
+	info := BlockInfo{Method: m, Requested: m, OrigLen: len(data)}
+	c, err := reg.Get(m)
+	if err != nil {
+		return dst, info, err
+	}
+	payload, err := c.Compress(data)
+	if err != nil {
+		return dst, info, fmt.Errorf("compress %v: %w", m, err)
+	}
+	flags := byte(0)
+	if m != None && len(payload) >= len(data) {
+		payload = data
+		info.Method = None
+		info.Fallback = true
+		flags |= FlagFallback
+	}
+	info.CompLen = len(payload)
+
+	dst = append(dst, magic0, magic1, FrameVersion, byte(info.Method), flags)
+	dst = binary.AppendUvarint(dst, uint64(len(data)))
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...), info, nil
+}
+
+// WriteBlock compresses data with the requested method and writes one
+// frame (see AppendFrame for fallback semantics).
+func (fw *FrameWriter) WriteBlock(m Method, data []byte) (BlockInfo, error) {
+	frame, info, err := AppendFrame(fw.hdr[:0], fw.reg, m, data)
+	fw.hdr = frame[:0]
+	if err != nil {
+		return info, err
+	}
+	if _, err := fw.w.Write(frame); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// A FrameReader reads frames and decompresses their payloads.
+type FrameReader struct {
+	r   io.Reader
+	reg *Registry
+	buf []byte
+}
+
+// NewFrameReader returns a FrameReader using the default registry; pass a
+// non-nil reg to use custom codecs.
+func NewFrameReader(r io.Reader, reg *Registry) *FrameReader {
+	if reg == nil {
+		reg = defaultRegistry
+	}
+	return &FrameReader{r: r, reg: reg}
+}
+
+func (fr *FrameReader) readUvarint() (uint64, error) {
+	var one [1]byte
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if _, err := io.ReadFull(fr.r, one[:]); err != nil {
+			return 0, err
+		}
+		b := one[0]
+		v |= uint64(b&0x7F) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("codec: uvarint overflow")
+}
+
+// ReadBlock reads and decodes the next frame. It returns io.EOF cleanly at
+// a frame boundary and io.ErrUnexpectedEOF on mid-frame truncation.
+func (fr *FrameReader) ReadBlock() ([]byte, BlockInfo, error) {
+	var info BlockInfo
+	var fixed [5]byte
+	if _, err := io.ReadFull(fr.r, fixed[:1]); err != nil {
+		return nil, info, err // io.EOF at a frame boundary is clean
+	}
+	if _, err := io.ReadFull(fr.r, fixed[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, info, err
+	}
+	if fixed[0] != magic0 || fixed[1] != magic1 {
+		return nil, info, ErrBadMagic
+	}
+	if fixed[2] != FrameVersion {
+		return nil, info, fmt.Errorf("%w: %d", ErrBadVersion, fixed[2])
+	}
+	info.Method = Method(fixed[3])
+	info.Requested = info.Method
+	flags := fixed[4]
+	if flags&FlagFallback != 0 {
+		info.Fallback = true
+	}
+	origLen, err := fr.readUvarint()
+	if err != nil {
+		return nil, info, unexpectedEOF(err)
+	}
+	compLen, err := fr.readUvarint()
+	if err != nil {
+		return nil, info, unexpectedEOF(err)
+	}
+	if origLen > maxFrameLen || compLen > maxFrameLen {
+		return nil, info, ErrFrameSize
+	}
+	info.OrigLen, info.CompLen = int(origLen), int(compLen)
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(fr.r, crcBuf[:]); err != nil {
+		return nil, info, unexpectedEOF(err)
+	}
+	wantCRC := binary.LittleEndian.Uint32(crcBuf[:])
+	if cap(fr.buf) < info.CompLen {
+		fr.buf = make([]byte, info.CompLen)
+	}
+	payload := fr.buf[:info.CompLen]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, info, unexpectedEOF(err)
+	}
+	if crc32.Checksum(payload, castagnoli) != wantCRC {
+		return nil, info, ErrChecksum
+	}
+	c, err := fr.reg.Get(info.Method)
+	if err != nil {
+		return nil, info, err
+	}
+	data, err := c.Decompress(payload, info.OrigLen)
+	if err != nil {
+		return nil, info, fmt.Errorf("decompress %v: %w", info.Method, err)
+	}
+	return data, info, nil
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,90 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets: their seed corpora run as part of the ordinary test suite;
+// `go test -fuzz=FuzzX ./internal/codec` explores further. Two invariants:
+// compress∘decompress is the identity for every method, and no decoder may
+// panic on arbitrary bytes.
+
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0})
+	f.Add([]byte("abcabcabcabc"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 300))
+	f.Add(bytes.Repeat([]byte("low entropy low entropy "), 40))
+	f.Add([]byte{0xEC, 0x40, 1, 0, 0, 0, 0, 0, 0, 0, 0}) // frame-ish bytes
+}
+
+func FuzzRoundtripAllMethods(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, m := range []Method{None, Huffman, Arithmetic, LempelZiv, BurrowsWheeler} {
+			out, err := Compress(m, data)
+			if err != nil {
+				t.Fatalf("%v compress: %v", m, err)
+			}
+			back, err := Decompress(m, out, len(data))
+			if err != nil {
+				t.Fatalf("%v decompress: %v", m, err)
+			}
+			if !bytes.Equal(back, data) {
+				t.Fatalf("%v roundtrip mismatch", m)
+			}
+		}
+	})
+}
+
+func FuzzDecompressNeverPanics(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, m := range []Method{Huffman, Arithmetic, LempelZiv, BurrowsWheeler} {
+			// Arbitrary bytes with arbitrary claimed lengths: errors are
+			// fine, panics and runaway allocations are not.
+			for _, claim := range []int{0, 1, len(data), len(data) * 3, 1 << 16} {
+				_, _ = Decompress(m, data, claim)
+			}
+		}
+	})
+}
+
+func FuzzFrameReaderNeverPanics(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data), nil)
+		for i := 0; i < 16; i++ {
+			if _, _, err := fr.ReadBlock(); err != nil {
+				return
+			}
+		}
+	})
+}
+
+func FuzzFrameRoundtrip(f *testing.F) {
+	f.Add([]byte(nil), uint8(0))
+	f.Add([]byte("abcabcabcabc"), uint8(3))
+	f.Add(bytes.Repeat([]byte{0xFF}, 300), uint8(4))
+	f.Add(bytes.Repeat([]byte("low entropy "), 40), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, methodByte uint8) {
+		methods := []Method{None, Huffman, Arithmetic, LempelZiv, BurrowsWheeler}
+		m := methods[int(methodByte)%len(methods)]
+		var buf bytes.Buffer
+		fw := NewFrameWriter(&buf, nil)
+		if _, err := fw.WriteBlock(m, data); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, info, err := NewFrameReader(&buf, nil).ReadBlock()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("payload mismatch")
+		}
+		if info.OrigLen != len(data) {
+			t.Fatalf("OrigLen = %d", info.OrigLen)
+		}
+	})
+}

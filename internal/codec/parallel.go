@@ -1,0 +1,156 @@
+package codec
+
+import (
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// ParallelFrameWriter compresses blocks on a worker pool while emitting
+// frames strictly in submission order — the approach of the paper's
+// companion work on parallel compression (refs [32,33]): block-structured
+// formats parallelize trivially because each block's code tables are
+// self-contained, and the chunked Burrows-Wheeler format was explicitly
+// designed so independently compressed pieces concatenate.
+//
+// WriteBlock is asynchronous: compression errors surface on the next call
+// or on Close. The writer must not be used concurrently from multiple
+// goroutines (matching io.Writer convention); internal workers provide the
+// parallelism.
+type ParallelFrameWriter struct {
+	w       io.Writer
+	reg     *Registry
+	jobs    chan parallelJob
+	order   chan chan parallelResult
+	done    chan struct{}
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	err     error
+	infos   []BlockInfo
+	closed  bool
+	workers int
+}
+
+type parallelJob struct {
+	method Method
+	data   []byte
+	out    chan parallelResult
+}
+
+type parallelResult struct {
+	frame []byte
+	info  BlockInfo
+	err   error
+}
+
+// errClosedParallelWriter reports use after Close.
+var errClosedParallelWriter = errors.New("codec: ParallelFrameWriter is closed")
+
+// NewParallelFrameWriter builds a writer with the given worker count
+// (≤0 = GOMAXPROCS). reg nil means the default registry.
+func NewParallelFrameWriter(w io.Writer, reg *Registry, workers int) *ParallelFrameWriter {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &ParallelFrameWriter{
+		w:       w,
+		reg:     reg,
+		jobs:    make(chan parallelJob),
+		order:   make(chan chan parallelResult, workers*2),
+		done:    make(chan struct{}),
+		workers: workers,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	go p.emitter()
+	return p
+}
+
+func (p *ParallelFrameWriter) worker() {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		frame, info, err := AppendFrame(nil, p.reg, job.method, job.data)
+		job.out <- parallelResult{frame: frame, info: info, err: err}
+	}
+}
+
+// emitter drains results in submission order and writes them out.
+func (p *ParallelFrameWriter) emitter() {
+	defer close(p.done)
+	for out := range p.order {
+		res := <-out
+		p.mu.Lock()
+		if p.err == nil && res.err != nil {
+			p.err = res.err
+		}
+		failed := p.err != nil
+		p.mu.Unlock()
+		if failed {
+			continue // drain remaining results without writing
+		}
+		if _, err := p.w.Write(res.frame); err != nil {
+			p.mu.Lock()
+			p.err = err
+			p.mu.Unlock()
+			continue
+		}
+		p.mu.Lock()
+		p.infos = append(p.infos, res.info)
+		p.mu.Unlock()
+	}
+}
+
+// WriteBlock enqueues one block. The data is copied, so callers may reuse
+// the slice immediately.
+func (p *ParallelFrameWriter) WriteBlock(m Method, data []byte) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return errClosedParallelWriter
+	}
+	err := p.err
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	job := parallelJob{
+		method: m,
+		data:   append([]byte(nil), data...),
+		out:    make(chan parallelResult, 1),
+	}
+	p.order <- job.out
+	p.jobs <- job
+	return nil
+}
+
+// Close waits for all queued blocks to be compressed and written, then
+// reports the first error encountered, if any.
+func (p *ParallelFrameWriter) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		err := p.err
+		p.mu.Unlock()
+		return err
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.jobs)
+	p.wg.Wait()
+	close(p.order)
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Infos returns the BlockInfo of every frame written so far, in order.
+func (p *ParallelFrameWriter) Infos() []BlockInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]BlockInfo, len(p.infos))
+	copy(out, p.infos)
+	return out
+}

@@ -1,0 +1,201 @@
+package codec
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestParallelRoundtripOrdered(t *testing.T) {
+	// Blocks of very different compression cost: order preservation must
+	// not depend on completion order.
+	var blocks [][]byte
+	var methods []Method
+	for i := 0; i < 24; i++ {
+		var b []byte
+		switch i % 3 {
+		case 0:
+			b = bytes.Repeat([]byte{byte(i)}, 200_000) // fast: trivial run
+			methods = append(methods, LempelZiv)
+		case 1:
+			b = bytes.Repeat([]byte(fmt.Sprintf("block %d content; ", i)), 3000)
+			methods = append(methods, BurrowsWheeler) // slow
+		default:
+			b = []byte(fmt.Sprintf("tiny %d", i))
+			methods = append(methods, None)
+		}
+		blocks = append(blocks, b)
+	}
+	var wire bytes.Buffer
+	p := NewParallelFrameWriter(&wire, nil, 4)
+	for i, b := range blocks {
+		if err := p.WriteBlock(methods[i], b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	infos := p.Infos()
+	if len(infos) != len(blocks) {
+		t.Fatalf("infos = %d", len(infos))
+	}
+	fr := NewFrameReader(&wire, nil)
+	for i, want := range blocks {
+		got, info, err := fr.ReadBlock()
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d out of order or corrupt", i)
+		}
+		if info.OrigLen != infos[i].OrigLen {
+			t.Fatalf("block %d info mismatch", i)
+		}
+	}
+	if _, _, err := fr.ReadBlock(); err != io.EOF {
+		t.Fatalf("trailing data: %v", err)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// Byte-for-byte identical output to the serial FrameWriter.
+	blocks := make([][]byte, 10)
+	for i := range blocks {
+		blocks[i] = bytes.Repeat([]byte(fmt.Sprintf("payload %d — ", i)), 500)
+	}
+	var serial bytes.Buffer
+	fw := NewFrameWriter(&serial, nil)
+	for _, b := range blocks {
+		if _, err := fw.WriteBlock(Huffman, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var parallel bytes.Buffer
+	p := NewParallelFrameWriter(&parallel, nil, 8)
+	for _, b := range blocks {
+		if err := p.WriteBlock(Huffman, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatal("parallel output differs from serial")
+	}
+}
+
+func TestParallelErrorPropagation(t *testing.T) {
+	var wire bytes.Buffer
+	p := NewParallelFrameWriter(&wire, nil, 2)
+	if err := p.WriteBlock(Method(200), []byte("x")); err != nil {
+		t.Fatalf("enqueue itself should not fail: %v", err)
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("unknown method error lost")
+	}
+	if err := p.WriteBlock(None, []byte("y")); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("second close should repeat the error")
+	}
+}
+
+func TestParallelCallerMayReuseBuffer(t *testing.T) {
+	var wire bytes.Buffer
+	p := NewParallelFrameWriter(&wire, nil, 2)
+	buf := bytes.Repeat([]byte("reused"), 1000)
+	want := append([]byte(nil), buf...)
+	if err := p.WriteBlock(Huffman, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 0 // clobber immediately
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := NewFrameReader(&wire, nil).ReadBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("writer aliased caller's buffer")
+	}
+}
+
+func TestParallelFailedWriterSink(t *testing.T) {
+	p := NewParallelFrameWriter(failWriter{}, nil, 2)
+	for i := 0; i < 5; i++ {
+		_ = p.WriteBlock(None, []byte("data"))
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("sink error lost")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestParallelConcurrentSafetyUnderRace(t *testing.T) {
+	// The writer itself is single-producer, but Infos may be read
+	// concurrently with writes.
+	var wire bytes.Buffer
+	p := NewParallelFrameWriter(&wire, nil, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = p.Infos()
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if err := p.WriteBlock(Huffman, bytes.Repeat([]byte{byte(i)}, 2000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Infos()) != 50 {
+		t.Fatalf("infos = %d", len(p.Infos()))
+	}
+}
+
+func BenchmarkParallelVsSerialBWT(b *testing.B) {
+	motif := []byte("parallel compression of block structured formats; ")
+	block := bytes.Repeat(motif, 64*1024/len(motif)+1)[:64*1024]
+	const nBlocks = 16
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(int64(len(block) * nBlocks))
+		for i := 0; i < b.N; i++ {
+			fw := NewFrameWriter(io.Discard, nil)
+			for j := 0; j < nBlocks; j++ {
+				if _, err := fw.WriteBlock(BurrowsWheeler, block); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.SetBytes(int64(len(block) * nBlocks))
+		for i := 0; i < b.N; i++ {
+			p := NewParallelFrameWriter(io.Discard, nil, 0)
+			for j := 0; j < nBlocks; j++ {
+				if err := p.WriteBlock(BurrowsWheeler, block); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := p.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bytes"
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	"ccx/internal/codec"
+	"ccx/internal/datagen"
+	"ccx/internal/echo"
+	"ccx/internal/selector"
+)
+
+func TestDeriveCompressedLocal(t *testing.T) {
+	d := echo.NewDomain()
+	src := d.OpenChannel("md.frames")
+	cfg := selector.DefaultConfig()
+	cfg.BlockSize = 16 * 1024
+	e, err := NewEngine(Config{Selector: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, err := DeriveCompressed(src, "md.frames.z", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Make the engine believe the line is slow so it compresses.
+	e.Monitor().Observe(16*1024, time.Second)
+
+	payload := datagen.OISTransactions(16*1024, 0.9, 1)
+	var gotData []byte
+	var gotInfo codec.BlockInfo
+	compressed.Subscribe(func(ev echo.Event) {
+		data, info, err := DecodeEvent(ev, nil)
+		if err != nil {
+			t.Errorf("decode: %v", err)
+			return
+		}
+		gotData, gotInfo = data, info
+		if ev.Attrs[AttrMethod] != info.Method.String() {
+			t.Errorf("attr method %q != frame method %v", ev.Attrs[AttrMethod], info.Method)
+		}
+		if ev.Attrs[AttrOrigLen] != strconv.Itoa(info.OrigLen) {
+			t.Errorf("attr origlen %q", ev.Attrs[AttrOrigLen])
+		}
+	})
+	if err := src.Submit(echo.Event{Data: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotData, payload) {
+		t.Fatal("payload mismatch through compressed channel")
+	}
+	if gotInfo.Method == codec.None {
+		t.Fatalf("expected compression on slow line, got %v", gotInfo.Method)
+	}
+	if gotInfo.CompLen >= gotInfo.OrigLen {
+		t.Fatal("no size reduction")
+	}
+}
+
+func TestDeriveCompressedGoodputFeedback(t *testing.T) {
+	d := echo.NewDomain()
+	src := d.OpenChannel("s")
+	e, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, err := DeriveCompressed(src, "s.z", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Monitor().Goodput() != 0 {
+		t.Fatal("fresh monitor should be empty")
+	}
+	// Consumer reports acceptance rate via the quality attribute.
+	compressed.SetAttr(AttrGoodput, "2000000")
+	if g := e.Monitor().Goodput(); g != 2000000 {
+		t.Fatalf("goodput = %v", g)
+	}
+	// Malformed and irrelevant attributes are ignored.
+	compressed.SetAttr(AttrGoodput, "not-a-number")
+	compressed.SetAttr("other", "1")
+	if g := e.Monitor().Goodput(); g != 2000000 {
+		t.Fatalf("goodput polluted: %v", g)
+	}
+}
+
+func TestSubscribeDecompressed(t *testing.T) {
+	d := echo.NewDomain()
+	src := d.OpenChannel("s")
+	e, _ := NewEngine(Config{})
+	compressed, _ := DeriveCompressed(src, "s.z", e)
+	var payloads [][]byte
+	SubscribeDecompressed(compressed, nil, 2, func(data []byte, info codec.BlockInfo) {
+		payloads = append(payloads, data)
+	})
+	for i := 0; i < 4; i++ {
+		src.Submit(echo.Event{Data: datagen.OISTransactions(4096, 0.9, int64(i))})
+	}
+	if len(payloads) != 4 {
+		t.Fatalf("delivered %d", len(payloads))
+	}
+	// Feedback fired at least once (every 2 events).
+	if _, ok := compressed.Attr(AttrGoodput); !ok {
+		t.Fatal("no goodput feedback attr")
+	}
+}
+
+func TestDecodeEventRawFallback(t *testing.T) {
+	ev := echo.Event{
+		Data:  []byte("plain payload"),
+		Attrs: echo.Attributes{AttrMethod: codec.None.String()},
+	}
+	data, info, err := DecodeEvent(ev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "plain payload" || info.Method != codec.None {
+		t.Fatalf("got %q %+v", data, info)
+	}
+}
+
+// TestCompressedChannelAcrossBridge is the full §3.2 picture: producer and
+// consumer in different address spaces, a derived compression channel on
+// the producer side, events flowing across the transport encapsulation
+// layer, and quality attributes flowing back upstream.
+func TestCompressedChannelAcrossBridge(t *testing.T) {
+	c1, c2 := net.Pipe()
+	prodDomain, consDomain := echo.NewDomain(), echo.NewDomain()
+	b1 := echo.NewBridge(prodDomain, c1)
+	b2 := echo.NewBridge(consDomain, c2)
+	defer func() {
+		b1.Close()
+		b2.Close()
+		<-b1.Done()
+		<-b2.Done()
+	}()
+
+	cfg := selector.DefaultConfig()
+	cfg.BlockSize = 16 * 1024
+	e, err := NewEngine(Config{Selector: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := prodDomain.OpenChannel("ois.txns")
+	if _, err := DeriveCompressed(raw, "ois.txns.z", e); err != nil {
+		t.Fatal(err)
+	}
+	// Slow-line belief → compression on.
+	e.Monitor().Observe(16*1024, time.Second)
+
+	imported, err := b2.ImportChannel("ois.txns.z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rx struct {
+		data []byte
+		info codec.BlockInfo
+	}
+	got := make(chan rx, 16)
+	SubscribeDecompressed(imported, nil, 0, func(data []byte, info codec.BlockInfo) {
+		got <- rx{data, info}
+	})
+
+	// Wait for the bridge subscription to land on the producer side.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ch, ok := prodDomain.Channel("ois.txns.z"); ok && ch.Subscribers() > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	payload := datagen.OISTransactions(16*1024, 0.9, 3)
+	if err := raw.Submit(echo.Event{Data: payload}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-got:
+		if !bytes.Equal(r.data, payload) {
+			t.Fatal("payload mismatch across bridge")
+		}
+		if r.info.Method == codec.None {
+			t.Fatalf("expected compressed method, got %v", r.info.Method)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event never arrived")
+	}
+
+	// Upstream feedback: consumer reports goodput; producer's monitor sees it.
+	imported.SetAttr(AttrGoodput, "123456")
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if g := e.Monitor().Goodput(); g > 0 && g != float64(16*1024) {
+			// EWMA folded the report in.
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goodput feedback never reached producer (still %v)", e.Monitor().Goodput())
+}

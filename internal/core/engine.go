@@ -1,0 +1,263 @@
+// Package core is the paper's primary contribution: the configurable
+// compression engine that IQ-ECho integrates. It glues together
+//
+//   - end-to-end goodput monitoring (internal/bwmon),
+//   - concurrent Lempel-Ziv sampling probes (internal/sampling),
+//   - the table-driven selection algorithm (internal/selector), and
+//   - the compression method registry and framed wire format
+//     (internal/codec),
+//
+// into a per-block adaptation loop that follows §2.5's pseudocode: take a
+// 128 KB block, choose a method from the current send-time/reducing-speed
+// balance and the previous probe, fork a probe of the next block, send, and
+// join the probe.
+//
+// Three integration surfaces are provided: a transport-agnostic Session
+// (used by the experiment harness over simulated links), io.Writer/Reader
+// adapters (used by the TCP tools), and ECho channel handlers with
+// quality-attribute feedback (used by the middleware examples).
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"ccx/internal/bwmon"
+	"ccx/internal/codec"
+	"ccx/internal/sampling"
+	"ccx/internal/selector"
+)
+
+// Config assembles an Engine.
+type Config struct {
+	// Selector holds the decision thresholds and block size; zero value
+	// means selector.DefaultConfig.
+	Selector selector.Config
+	// ProbeSize overrides the 4 KB sampling probe (0 = default).
+	ProbeSize int
+	// Alpha is the goodput EWMA weight (0 = bwmon.DefaultAlpha).
+	Alpha float64
+	// SpeedScale emulates a slower or loaded CPU by dividing measured
+	// reducing speeds (0 or 1 = native speed).
+	SpeedScale float64
+	// Registry supplies codecs (nil = built-in methods).
+	Registry *codec.Registry
+	// Policy overrides the decision policy (nil = the paper's published
+	// ratio algorithm over Selector's thresholds).
+	Policy selector.Policy
+	// Now supplies timestamps for probe and compression timing; nil means
+	// time.Now. Experiments inject virtual clocks for determinism.
+	Now func() time.Time
+}
+
+// Engine runs the adaptation loop. It is safe for concurrent use, though
+// the paper's loop (and Session) is sequential per stream.
+type Engine struct {
+	sel    selector.Config
+	policy selector.Policy
+	reg    *codec.Registry
+	mon    *bwmon.Monitor
+	smp    *sampling.Sampler
+	now    func() time.Time
+
+	mu      sync.Mutex
+	pending chan sampling.ProbeResult
+}
+
+// NewEngine validates cfg and builds an Engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	sel := cfg.Selector
+	if sel == (selector.Config{}) {
+		sel = selector.DefaultConfig()
+	}
+	if err := sel.Validate(); err != nil {
+		return nil, err
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = codec.NewRegistry()
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = selector.RatioPolicy{Config: sel}
+	}
+	return &Engine{
+		sel:    sel,
+		policy: policy,
+		reg:    reg,
+		mon:    bwmon.New(cfg.Alpha),
+		smp: &sampling.Sampler{
+			ProbeSize:  cfg.ProbeSize,
+			SpeedScale: cfg.SpeedScale,
+			Now:        now,
+		},
+		now: now,
+	}, nil
+}
+
+// BlockSize returns the configured transmission block size.
+func (e *Engine) BlockSize() int { return e.sel.BlockSize }
+
+// Monitor exposes the goodput monitor (receivers' acceptance rate feeds it).
+func (e *Engine) Monitor() *bwmon.Monitor { return e.mon }
+
+// Registry exposes the codec registry, for runtime method deployment.
+func (e *Engine) Registry() *codec.Registry { return e.reg }
+
+// StartProbe forks the paper's sampling child for the next block: a
+// goroutine compresses its first 4 KB with Lempel-Ziv. The result is
+// consumed by the next Decide call.
+func (e *Engine) StartProbe(next []byte) {
+	ch := make(chan sampling.ProbeResult, 1)
+	e.mu.Lock()
+	e.pending = ch
+	e.mu.Unlock()
+	go func() {
+		ch <- e.smp.Probe(next)
+	}()
+}
+
+// takeProbe joins the pending probe if one exists ("wait for child
+// process"), otherwise probes block synchronously.
+func (e *Engine) takeProbe(block []byte) sampling.ProbeResult {
+	e.mu.Lock()
+	ch := e.pending
+	e.pending = nil
+	e.mu.Unlock()
+	if ch != nil {
+		return <-ch
+	}
+	return e.smp.Probe(block)
+}
+
+// Decide selects the compression method for block, consuming the pending
+// probe when one was started (the probe must have been for this block).
+func (e *Engine) Decide(block []byte) selector.Decision {
+	probe := e.takeProbe(block)
+	in := selector.Inputs{
+		BlockLen:      len(block),
+		SendTime:      e.mon.SendTime(len(block)),
+		ProbeRatio:    probe.Ratio,
+		ReducingSpeed: probe.ReducingSpeed,
+		Entropy:       probe.Entropy,
+		Repetition:    probe.Repetition,
+	}
+	return e.policy.Select(in)
+}
+
+// BlockResult records one transmitted block for the experiment plots
+// (Figures 8-12 all read these fields).
+type BlockResult struct {
+	// Index is the block's ordinal in the stream.
+	Index int
+	// Decision holds the selected method and its reasoning inputs.
+	Decision selector.Decision
+	// Info is the wire-level outcome (after any expansion fallback).
+	Info codec.BlockInfo
+	// CompressTime is the time spent compressing (scaled by SpeedScale).
+	CompressTime time.Duration
+	// SendTime is the measured transmission time of the frame.
+	SendTime time.Duration
+	// WireBytes is the full frame size on the wire, header included.
+	WireBytes int
+}
+
+// SendFunc transmits one encoded frame and reports how long the transfer
+// took end to end. Implementations wrap sockets, simulated links, or pipes.
+type SendFunc func(frame []byte) (time.Duration, error)
+
+// Session drives the per-block loop over any transport. Not safe for
+// concurrent use; create one per stream (matching the paper's one loop per
+// data exchange).
+type Session struct {
+	e     *Engine
+	buf   bytes.Buffer
+	fw    *codec.FrameWriter
+	index int
+}
+
+// NewSession returns a Session on the engine.
+func NewSession(e *Engine) *Session {
+	s := &Session{e: e}
+	s.fw = codec.NewFrameWriter(&s.buf, e.reg)
+	return s
+}
+
+// TransmitBlock runs one iteration of §2.5's loop body for block, using
+// send as the network. next is the following block (nil at end of stream);
+// its probe overlaps the send, exactly as the paper forks its sampling
+// process before sending and joins it after.
+func (s *Session) TransmitBlock(block, next []byte, send SendFunc) (BlockResult, error) {
+	e := s.e
+	res := BlockResult{Index: s.index}
+	s.index++
+
+	res.Decision = e.Decide(block)
+
+	start := e.now()
+	s.buf.Reset()
+	info, err := s.fw.WriteBlock(res.Decision.Method, block)
+	if err != nil {
+		return res, fmt.Errorf("core: encode block %d: %w", res.Index, err)
+	}
+	res.CompressTime = e.now().Sub(start)
+	if scale := e.smp.SpeedScale; scale > 0 && scale != 1 {
+		res.CompressTime = time.Duration(float64(res.CompressTime) * scale)
+	}
+	res.Info = info
+	frame := s.buf.Bytes()
+	res.WireBytes = len(frame)
+
+	if next != nil {
+		e.StartProbe(next)
+	}
+	d, err := send(frame)
+	if err != nil {
+		return res, fmt.Errorf("core: send block %d: %w", res.Index, err)
+	}
+	res.SendTime = d
+	e.mon.Observe(len(frame), d)
+	return res, nil
+}
+
+// Stream splits data into engine-sized blocks and transmits them all,
+// returning per-block results. onBlock, when non-nil, observes each result
+// as it completes (the experiment harness streams these into its series).
+func (s *Session) Stream(data []byte, send SendFunc, onBlock func(BlockResult)) ([]BlockResult, error) {
+	bs := s.e.BlockSize()
+	var blocks [][]byte
+	for off := 0; off < len(data); off += bs {
+		end := off + bs
+		if end > len(data) {
+			end = len(data)
+		}
+		blocks = append(blocks, data[off:end])
+	}
+	return s.StreamBlocks(blocks, send, onBlock)
+}
+
+// StreamBlocks transmits pre-cut blocks in order.
+func (s *Session) StreamBlocks(blocks [][]byte, send SendFunc, onBlock func(BlockResult)) ([]BlockResult, error) {
+	results := make([]BlockResult, 0, len(blocks))
+	for i, block := range blocks {
+		var next []byte
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		}
+		res, err := s.TransmitBlock(block, next, send)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+		if onBlock != nil {
+			onBlock(res)
+		}
+	}
+	return results, nil
+}

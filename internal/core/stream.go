@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"ccx/internal/codec"
+)
+
+// Writer adapts the adaptive engine to io.Writer: bytes written are cut
+// into engine-sized blocks, each compressed with the method the selector
+// picks at that moment, framed, and forwarded to the underlying writer.
+// Close flushes the final partial block.
+//
+// Send time is measured around the underlying Write call. Over a TCP
+// connection with a full pipe this tracks the receiver's acceptance rate
+// through backpressure — the end-to-end signal the paper's monitor wants.
+type Writer struct {
+	e       *Engine
+	s       *Session
+	w       io.Writer
+	buf     []byte
+	onBlock func(BlockResult)
+	closed  bool
+}
+
+// NewWriter returns an adaptive Writer. onBlock, when non-nil, observes
+// every transmitted block.
+func NewWriter(w io.Writer, e *Engine, onBlock func(BlockResult)) *Writer {
+	return &Writer{
+		e:       e,
+		s:       NewSession(e),
+		w:       w,
+		buf:     make([]byte, 0, e.BlockSize()),
+		onBlock: onBlock,
+	}
+}
+
+// send transmits one frame over the underlying writer, timing the call.
+func (w *Writer) send(frame []byte) (time.Duration, error) {
+	start := time.Now()
+	if _, err := w.w.Write(frame); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("core: write on closed Writer")
+	}
+	total := len(p)
+	bs := w.e.BlockSize()
+	for len(p) > 0 {
+		space := bs - len(w.buf)
+		n := len(p)
+		if n > space {
+			n = space
+		}
+		w.buf = append(w.buf, p[:n]...)
+		p = p[n:]
+		if len(w.buf) == bs {
+			if err := w.flushBlock(); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (w *Writer) flushBlock() error {
+	block := w.buf
+	w.buf = make([]byte, 0, w.e.BlockSize())
+	// The next block is unknown in streaming mode, so the probe runs at
+	// Decide time for each block (the synchronous fallback).
+	res, err := w.s.TransmitBlock(block, nil, w.send)
+	if err != nil {
+		return err
+	}
+	if w.onBlock != nil {
+		w.onBlock(res)
+	}
+	return nil
+}
+
+// Close flushes buffered data. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.buf) > 0 {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+var _ io.WriteCloser = (*Writer)(nil)
+
+// Reader decodes an adaptive frame stream back into the original bytes.
+type Reader struct {
+	fr      *codec.FrameReader
+	rest    []byte
+	onBlock func(codec.BlockInfo)
+	err     error
+}
+
+// NewReader returns a Reader over r. reg selects the codec set (nil =
+// built-ins); onBlock, when non-nil, observes every received block.
+func NewReader(r io.Reader, reg *codec.Registry, onBlock func(codec.BlockInfo)) *Reader {
+	return &Reader{fr: codec.NewFrameReader(r, reg), onBlock: onBlock}
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	for len(r.rest) == 0 {
+		if r.err != nil {
+			return 0, r.err
+		}
+		data, info, err := r.fr.ReadBlock()
+		if err != nil {
+			r.err = err
+			return 0, err
+		}
+		if r.onBlock != nil {
+			r.onBlock(info)
+		}
+		r.rest = data
+	}
+	n := copy(p, r.rest)
+	r.rest = r.rest[n:]
+	return n, nil
+}
+
+var _ io.Reader = (*Reader)(nil)

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+
+	"ccx/internal/codec"
+	"ccx/internal/datagen"
+	"ccx/internal/selector"
+)
+
+func smallBlockEngine(t *testing.T, blockSize int) *Engine {
+	t.Helper()
+	cfg := selector.DefaultConfig()
+	cfg.BlockSize = blockSize
+	e, err := NewEngine(Config{Selector: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestWriterReaderRoundtrip(t *testing.T) {
+	e := smallBlockEngine(t, 8*1024)
+	data := datagen.OISTransactions(100*1024, 0.9, 1)
+
+	var wire bytes.Buffer
+	w := NewWriter(&wire, e, nil)
+	// Write in awkward sizes to exercise buffering.
+	for off := 0; off < len(data); {
+		n := 3000
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		if _, err := w.Write(data[off : off+n]); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Len() == 0 {
+		t.Fatal("nothing written")
+	}
+
+	r := NewReader(&wire, nil, nil)
+	got, err := io.ReadAll(r)
+	if err != io.EOF && err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("roundtrip mismatch: %d vs %d bytes", len(got), len(data))
+	}
+}
+
+func TestWriterCloseFlushesPartial(t *testing.T) {
+	e := smallBlockEngine(t, 64*1024)
+	var wire bytes.Buffer
+	w := NewWriter(&wire, e, nil)
+	if _, err := w.Write([]byte("short tail")); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Len() != 0 {
+		t.Fatal("partial block flushed early")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+	r := NewReader(&wire, nil, nil)
+	got, _ := io.ReadAll(r)
+	if string(got) != "short tail" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestWriterRejectsAfterClose(t *testing.T) {
+	e := smallBlockEngine(t, 1024)
+	w := NewWriter(io.Discard, e, nil)
+	w.Close()
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}
+
+func TestWriterBlockCallback(t *testing.T) {
+	e := smallBlockEngine(t, 4*1024)
+	var results []BlockResult
+	w := NewWriter(io.Discard, e, func(r BlockResult) { results = append(results, r) })
+	data := datagen.OISTransactions(20*1024, 0.9, 1)
+	w.Write(data)
+	w.Close()
+	if len(results) != 5 {
+		t.Fatalf("got %d block callbacks", len(results))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("indices out of order: %+v", results)
+		}
+	}
+}
+
+func TestReaderBlockInfoCallback(t *testing.T) {
+	e := smallBlockEngine(t, 4*1024)
+	var wire bytes.Buffer
+	w := NewWriter(&wire, e, nil)
+	w.Write(datagen.OISTransactions(12*1024, 0.9, 1))
+	w.Close()
+	var infos []codec.BlockInfo
+	r := NewReader(&wire, nil, func(i codec.BlockInfo) { infos = append(infos, i) })
+	io.ReadAll(r)
+	if len(infos) != 3 {
+		t.Fatalf("got %d infos", len(infos))
+	}
+}
+
+func TestReaderPropagatesCorruption(t *testing.T) {
+	e := smallBlockEngine(t, 4*1024)
+	var wire bytes.Buffer
+	w := NewWriter(&wire, e, nil)
+	w.Write(datagen.OISTransactions(8*1024, 0.9, 1))
+	w.Close()
+	raw := wire.Bytes()
+	raw[len(raw)-1] ^= 0xFF
+	r := NewReader(bytes.NewReader(raw), nil, nil)
+	if _, err := io.ReadAll(r); err == nil {
+		t.Fatal("corruption not surfaced")
+	}
+}
+
+func TestWriterReaderOverTCP(t *testing.T) {
+	// End-to-end over a real socket: adaptation runs on genuine send timing.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	data := datagen.OISTransactions(600*1024, 0.9, 2)
+	recvDone := make(chan []byte, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			recvDone <- nil
+			return
+		}
+		defer conn.Close()
+		r := NewReader(conn, nil, nil)
+		got, _ := io.ReadAll(r)
+		recvDone <- got
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := smallBlockEngine(t, 64*1024)
+	w := NewWriter(conn, e, nil)
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	got := <-recvDone
+	if !bytes.Equal(got, data) {
+		t.Fatalf("TCP roundtrip mismatch: %d vs %d bytes", len(got), len(data))
+	}
+}

@@ -1,0 +1,248 @@
+package echo
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bridgePair wires two domains over an in-memory duplex connection.
+func bridgePair(t *testing.T) (*Domain, *Bridge, *Domain, *Bridge) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	d1, d2 := NewDomain(), NewDomain()
+	b1 := NewBridge(d1, c1)
+	b2 := NewBridge(d2, c2)
+	t.Cleanup(func() {
+		b1.Close()
+		b2.Close()
+		<-b1.Done()
+		<-b2.Done()
+	})
+	return d1, b1, d2, b2
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+type collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (c *collector) add(ev Event) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+func (c *collector) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+func (c *collector) at(i int) Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events[i]
+}
+
+func TestBridgeEventFlow(t *testing.T) {
+	d1, _, _, b2 := bridgePair(t)
+
+	// Producer lives in d1; consumer imports the channel through b2.
+	prod := d1.OpenChannel("stream")
+	cons, err := b2.ImportChannel("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got collector
+	cons.Subscribe(got.add)
+
+	// The subscribe message must reach d1 before events flow.
+	waitFor(t, "export subscription", func() bool { return prod.Subscribers() > 0 })
+	prod.Submit(Event{Data: []byte("payload-1"), Attrs: Attributes{"seq": "1"}})
+	prod.Submit(Event{Data: []byte("payload-2")})
+	waitFor(t, "events", func() bool { return got.len() == 2 })
+	if string(got.at(0).Data) != "payload-1" || got.at(0).Attrs["seq"] != "1" {
+		t.Fatalf("event 0 = %+v", got.at(0))
+	}
+	if string(got.at(1).Data) != "payload-2" {
+		t.Fatalf("event 1 = %+v", got.at(1))
+	}
+}
+
+func TestBridgeMultiplexesChannels(t *testing.T) {
+	d1, _, _, b2 := bridgePair(t)
+	chA := d1.OpenChannel("a")
+	chB := d1.OpenChannel("b")
+	impA, _ := b2.ImportChannel("a")
+	impB, _ := b2.ImportChannel("b")
+	var gotA, gotB collector
+	impA.Subscribe(gotA.add)
+	impB.Subscribe(gotB.add)
+	waitFor(t, "exports", func() bool { return chA.Subscribers() > 0 && chB.Subscribers() > 0 })
+	for i := 0; i < 10; i++ {
+		chA.Submit(Event{Data: []byte{'a', byte(i)}})
+		chB.Submit(Event{Data: []byte{'b', byte(i)}})
+	}
+	waitFor(t, "deliveries", func() bool { return gotA.len() == 10 && gotB.len() == 10 })
+	for i := 0; i < 10; i++ {
+		if gotA.at(i).Data[0] != 'a' || gotB.at(i).Data[0] != 'b' {
+			t.Fatal("channels crossed")
+		}
+	}
+}
+
+func TestBridgeAttributePropagation(t *testing.T) {
+	d1, _, _, b2 := bridgePair(t)
+	prod := d1.OpenChannel("stream")
+	cons, _ := b2.ImportChannel("stream")
+	waitFor(t, "export", func() bool { return prod.Subscribers() > 0 })
+
+	// Producer watches for consumer-side instructions (the §3.2 flow where
+	// the consumer informs the source of a method change via attributes).
+	type kv struct{ k, v string }
+	var mu sync.Mutex
+	var seen []kv
+	prod.WatchAttrs(func(k, v string) {
+		mu.Lock()
+		seen = append(seen, kv{k, v})
+		mu.Unlock()
+	})
+	cons.SetAttr("ccx.method", "burrows-wheeler")
+	waitFor(t, "attr", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seen) == 1
+	})
+	mu.Lock()
+	if seen[0].k != "ccx.method" || seen[0].v != "burrows-wheeler" {
+		t.Fatalf("seen = %+v", seen)
+	}
+	mu.Unlock()
+	// And it is readable as state on the producer side.
+	waitFor(t, "attr state", func() bool {
+		v, ok := prod.Attr("ccx.method")
+		return ok && v == "burrows-wheeler"
+	})
+}
+
+func TestBridgeUnimport(t *testing.T) {
+	d1, _, _, b2 := bridgePair(t)
+	prod := d1.OpenChannel("stream")
+	cons, _ := b2.ImportChannel("stream")
+	var got collector
+	cons.Subscribe(got.add)
+	waitFor(t, "export", func() bool { return prod.Subscribers() > 0 })
+	prod.Submit(Event{Data: []byte("1")})
+	waitFor(t, "first event", func() bool { return got.len() == 1 })
+	if err := b2.UnimportChannel("stream"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "unexport", func() bool { return prod.Subscribers() == 0 })
+	prod.Submit(Event{Data: []byte("2")})
+	time.Sleep(20 * time.Millisecond)
+	if got.len() != 1 {
+		t.Fatalf("got %d events after unimport", got.len())
+	}
+}
+
+func TestBridgeNoEchoLoop(t *testing.T) {
+	// Both sides import the same channel; a submit on one side must arrive
+	// exactly once on the other and not bounce back.
+	d1, b1, d2, b2 := bridgePair(t)
+	ch1, _ := b1.ImportChannel("shared")
+	ch2, _ := b2.ImportChannel("shared")
+	waitFor(t, "exports both ways", func() bool {
+		return ch1.Subscribers() > 0 && ch2.Subscribers() > 0
+	})
+	var got1, got2 collector
+	ch1.Subscribe(got1.add)
+	ch2.Subscribe(got2.add)
+	ch1.Submit(Event{Data: []byte("ping")})
+	waitFor(t, "delivery", func() bool { return got2.len() == 1 })
+	time.Sleep(20 * time.Millisecond)
+	// Local submit delivers locally once, remotely once — no storm.
+	if got1.len() != 1 || got2.len() != 1 {
+		t.Fatalf("loop: got1=%d got2=%d", got1.len(), got2.len())
+	}
+	_ = d1
+	_ = d2
+}
+
+func TestBridgeCloseUnblocks(t *testing.T) {
+	c1, c2 := net.Pipe()
+	d1, d2 := NewDomain(), NewDomain()
+	b1 := NewBridge(d1, c1)
+	b2 := NewBridge(d2, c2)
+	if err := b1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b1.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("b1 read loop did not exit")
+	}
+	select {
+	case <-b2.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("b2 did not notice peer hangup")
+	}
+	if err := b1.Err(); err != nil {
+		t.Fatalf("clean close reported %v", err)
+	}
+	b2.Close()
+}
+
+func TestBridgeOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	d1, d2 := NewDomain(), NewDomain()
+	accepted := make(chan *Bridge, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- NewBridge(d1, conn)
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := NewBridge(d2, conn)
+	defer b2.Close()
+	b1 := <-accepted
+	defer b1.Close()
+
+	prod := d1.OpenChannel("tcp.stream")
+	cons, _ := b2.ImportChannel("tcp.stream")
+	var got collector
+	cons.Subscribe(got.add)
+	waitFor(t, "export", func() bool { return prod.Subscribers() > 0 })
+	payload := make([]byte, 100000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	prod.Submit(Event{Data: payload})
+	waitFor(t, "large event", func() bool { return got.len() == 1 })
+	if len(got.at(0).Data) != len(payload) {
+		t.Fatalf("payload size = %d", len(got.at(0).Data))
+	}
+}

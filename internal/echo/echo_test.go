@@ -1,0 +1,285 @@
+package echo
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestCreateAndLookup(t *testing.T) {
+	d := NewDomain()
+	ch, err := d.CreateChannel("md.frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Name() != "md.frames" {
+		t.Fatalf("name = %q", ch.Name())
+	}
+	if _, err := d.CreateChannel("md.frames"); !errors.Is(err, ErrChannelExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	got, ok := d.Channel("md.frames")
+	if !ok || got != ch {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := d.Channel("missing"); ok {
+		t.Fatal("phantom channel")
+	}
+	if _, err := d.CreateChannel(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestOpenChannelIdempotent(t *testing.T) {
+	d := NewDomain()
+	a := d.OpenChannel("x")
+	b := d.OpenChannel("x")
+	if a != b {
+		t.Fatal("OpenChannel created a duplicate")
+	}
+	names := d.Channels()
+	if len(names) != 1 || names[0] != "x" {
+		t.Fatalf("Channels() = %v", names)
+	}
+}
+
+func TestPubSub(t *testing.T) {
+	d := NewDomain()
+	ch := d.OpenChannel("c")
+	var got [][]byte
+	ch.Subscribe(func(ev Event) { got = append(got, ev.Data) })
+	for _, msg := range []string{"one", "two", "three"} {
+		if err := ch.Submit(Event{Data: []byte(msg)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 3 || string(got[0]) != "one" || string(got[2]) != "three" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestOnlySubscribersNotified(t *testing.T) {
+	d := NewDomain()
+	a := d.OpenChannel("a")
+	b := d.OpenChannel("b")
+	aCount, bCount := 0, 0
+	a.Subscribe(func(Event) { aCount++ })
+	b.Subscribe(func(Event) { bCount++ })
+	a.Submit(Event{})
+	if aCount != 1 || bCount != 0 {
+		t.Fatalf("delivery crossed channels: %d %d", aCount, bCount)
+	}
+}
+
+func TestMultipleSubscribersInOrder(t *testing.T) {
+	d := NewDomain()
+	ch := d.OpenChannel("c")
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		ch.Subscribe(func(Event) { order = append(order, i) })
+	}
+	ch.Submit(Event{})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	d := NewDomain()
+	ch := d.OpenChannel("c")
+	n := 0
+	sub := ch.Subscribe(func(Event) { n++ })
+	ch.Submit(Event{})
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	ch.Submit(Event{})
+	if n != 1 {
+		t.Fatalf("n = %d", n)
+	}
+	if ch.Subscribers() != 0 {
+		t.Fatalf("subscribers = %d", ch.Subscribers())
+	}
+}
+
+func TestDerivedChannel(t *testing.T) {
+	d := NewDomain()
+	src := d.OpenChannel("raw")
+	derived, err := src.Derive("raw.upper", func(ev Event) (Event, bool) {
+		return Event{Data: bytes.ToUpper(ev.Data), Attrs: ev.Attrs}, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	derived.Subscribe(func(ev Event) { got = ev.Data })
+	src.Submit(Event{Data: []byte("hello")})
+	if string(got) != "HELLO" {
+		t.Fatalf("got %q", got)
+	}
+	// Source subscribers are unaffected.
+	plain := []byte(nil)
+	src.Subscribe(func(ev Event) { plain = ev.Data })
+	src.Submit(Event{Data: []byte("x")})
+	if string(plain) != "x" {
+		t.Fatal("source delivery broken")
+	}
+}
+
+func TestDerivedChannelDropsEvents(t *testing.T) {
+	d := NewDomain()
+	src := d.OpenChannel("raw")
+	derived, _ := src.Derive("filtered", func(ev Event) (Event, bool) {
+		return ev, len(ev.Data) > 2
+	})
+	n := 0
+	derived.Subscribe(func(Event) { n++ })
+	src.Submit(Event{Data: []byte("xy")})
+	src.Submit(Event{Data: []byte("xyz")})
+	if n != 1 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func TestDeriveChain(t *testing.T) {
+	d := NewDomain()
+	src := d.OpenChannel("a")
+	b, _ := src.Derive("b", func(ev Event) (Event, bool) {
+		return Event{Data: append(ev.Data, '1')}, true
+	})
+	c, _ := b.Derive("c", func(ev Event) (Event, bool) {
+		return Event{Data: append(ev.Data, '2')}, true
+	})
+	var got []byte
+	c.Subscribe(func(ev Event) { got = ev.Data })
+	src.Submit(Event{Data: []byte("x")})
+	if string(got) != "x12" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDeriveNameCollision(t *testing.T) {
+	d := NewDomain()
+	src := d.OpenChannel("a")
+	d.OpenChannel("taken")
+	if _, err := src.Derive("taken", func(ev Event) (Event, bool) { return ev, true }); err == nil {
+		t.Fatal("expected collision error")
+	}
+	if _, err := src.Derive("ok", nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestDerivedClosesDetachesFromSource(t *testing.T) {
+	d := NewDomain()
+	src := d.OpenChannel("a")
+	derived, _ := src.Derive("b", func(ev Event) (Event, bool) { return ev, true })
+	n := 0
+	derived.Subscribe(func(Event) { n++ })
+	src.Submit(Event{})
+	derived.Close()
+	src.Submit(Event{})
+	if n != 1 {
+		t.Fatalf("n = %d", n)
+	}
+	if src.Subscribers() != 0 {
+		t.Fatal("derived channel still attached to source")
+	}
+	if _, ok := d.Channel("b"); ok {
+		t.Fatal("closed channel still registered")
+	}
+}
+
+func TestClosedChannelRejectsSubmit(t *testing.T) {
+	d := NewDomain()
+	ch := d.OpenChannel("c")
+	ch.Close()
+	if err := ch.Submit(Event{}); !errors.Is(err, ErrChannelClosed) {
+		t.Fatalf("got %v", err)
+	}
+	if err := ch.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	d := NewDomain()
+	ch := d.OpenChannel("c")
+	var gotK, gotV string
+	watch := ch.WatchAttrs(func(k, v string) { gotK, gotV = k, v })
+	ch.SetAttr("ccx.method", "lempel-ziv")
+	if gotK != "ccx.method" || gotV != "lempel-ziv" {
+		t.Fatalf("watch got %q=%q", gotK, gotV)
+	}
+	v, ok := ch.Attr("ccx.method")
+	if !ok || v != "lempel-ziv" {
+		t.Fatalf("Attr = %q %v", v, ok)
+	}
+	snap := ch.Attrs()
+	snap["ccx.method"] = "mutated"
+	if v, _ := ch.Attr("ccx.method"); v != "lempel-ziv" {
+		t.Fatal("Attrs snapshot aliases internal state")
+	}
+	watch.Cancel()
+	watch.Cancel()
+	ch.SetAttr("other", "x")
+	if gotK != "ccx.method" {
+		t.Fatal("cancelled watch still fired")
+	}
+}
+
+func TestAttributesClone(t *testing.T) {
+	if Attributes(nil).Clone() != nil {
+		t.Fatal("nil clone")
+	}
+	a := Attributes{"k": "v"}
+	b := a.Clone()
+	b["k"] = "w"
+	if a["k"] != "v" {
+		t.Fatal("clone aliases")
+	}
+}
+
+func TestHandlerResubmitNoDeadlock(t *testing.T) {
+	// A subscriber that submits to another channel must not deadlock
+	// (delivery happens outside the channel lock).
+	d := NewDomain()
+	a := d.OpenChannel("a")
+	b := d.OpenChannel("b")
+	got := 0
+	b.Subscribe(func(Event) { got++ })
+	a.Subscribe(func(ev Event) { b.Submit(ev) })
+	a.Submit(Event{})
+	if got != 1 {
+		t.Fatalf("got = %d", got)
+	}
+}
+
+func TestConcurrentPubSub(t *testing.T) {
+	d := NewDomain()
+	ch := d.OpenChannel("c")
+	var mu sync.Mutex
+	count := 0
+	ch.Subscribe(func(Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				ch.Submit(Event{Data: []byte{byte(j)}})
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 4000 {
+		t.Fatalf("count = %d", count)
+	}
+}

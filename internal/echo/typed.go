@@ -1,0 +1,106 @@
+package echo
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"ccx/internal/pbio"
+)
+
+// AttrFormat is the quality attribute carrying a channel's PBIO format
+// descriptor (hex-encoded). Typed channels are how the original system
+// moved structured scientific data: PBIO (ref [35]) provided "fast
+// heterogeneous binary data interchange for event-based monitoring", with
+// the format negotiated out of band — here, through channel attributes,
+// which the transport bridge synchronizes across address spaces.
+const AttrFormat = "pbio.format"
+
+// ErrNoFormat is returned when opening a typed view of a channel that has
+// no format attribute yet.
+var ErrNoFormat = errors.New("echo: channel has no pbio format attribute")
+
+// TypedChannel is a typed view over an event channel: producers submit
+// PBIO records, consumers receive decoded records. The payload of each
+// event is one packed record batch.
+type TypedChannel struct {
+	ch     *EventChannel
+	format *pbio.Format
+}
+
+// BindFormat declares ch's record format, publishing the descriptor as a
+// quality attribute so any consumer — local or bridged — can decode.
+func BindFormat(ch *EventChannel, f *pbio.Format) (*TypedChannel, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := pbio.WriteFormat(&buf, f); err != nil {
+		return nil, err
+	}
+	ch.SetAttr(AttrFormat, hex.EncodeToString(buf.Bytes()))
+	return &TypedChannel{ch: ch, format: f}, nil
+}
+
+// OpenTyped builds a typed view from the channel's published format
+// attribute (the consumer side of format negotiation).
+func OpenTyped(ch *EventChannel) (*TypedChannel, error) {
+	enc, ok := ch.Attr(AttrFormat)
+	if !ok {
+		return nil, ErrNoFormat
+	}
+	raw, err := hex.DecodeString(enc)
+	if err != nil {
+		return nil, fmt.Errorf("echo: bad format attribute: %w", err)
+	}
+	f, err := pbio.ReadFormat(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	return &TypedChannel{ch: ch, format: f}, nil
+}
+
+// Channel returns the underlying event channel.
+func (tc *TypedChannel) Channel() *EventChannel { return tc.ch }
+
+// Format returns the channel's record format.
+func (tc *TypedChannel) Format() *pbio.Format { return tc.format }
+
+// SubmitRecords packs records into one event and publishes it.
+func (tc *TypedChannel) SubmitRecords(recs []pbio.Record, attrs Attributes) error {
+	buf := make([]byte, 0, len(recs)*tc.format.RecordSize())
+	var err error
+	for i := range recs {
+		buf, err = pbio.AppendRecord(buf, tc.format, recs[i])
+		if err != nil {
+			return err
+		}
+	}
+	return tc.ch.Submit(Event{Data: buf, Attrs: attrs})
+}
+
+// SubscribeRecords delivers decoded record batches to fn. Events whose
+// payloads do not parse as record batches are dropped (a derived channel
+// carrying transformed payloads should be opened raw instead).
+func (tc *TypedChannel) SubscribeRecords(fn func(recs []pbio.Record, attrs Attributes)) *Subscription {
+	f := tc.format
+	return tc.ch.Subscribe(func(ev Event) {
+		rs := f.RecordSize()
+		if rs == 0 || len(ev.Data)%rs != 0 {
+			return
+		}
+		n := len(ev.Data) / rs
+		recs := make([]pbio.Record, n)
+		rest := ev.Data
+		var err error
+		for i := 0; i < n; i++ {
+			recs[i] = pbio.NewRecord(f)
+			rest, err = pbio.DecodeRecord(rest, f, &recs[i])
+			if err != nil {
+				return
+			}
+		}
+		fn(recs, ev.Attrs)
+	})
+}

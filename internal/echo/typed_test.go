@@ -1,0 +1,158 @@
+package echo
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"ccx/internal/pbio"
+)
+
+func sensorFormat() *pbio.Format {
+	return &pbio.Format{
+		Name: "sensor",
+		Fields: []pbio.Field{
+			{Name: "id", Kind: pbio.Int64, Count: 1},
+			{Name: "reading", Kind: pbio.Float64, Count: 2},
+		},
+	}
+}
+
+func TestTypedChannelLocal(t *testing.T) {
+	d := NewDomain()
+	ch := d.OpenChannel("sensors")
+	prod, err := BindFormat(ch, sensorFormat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := OpenTyped(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.Format().Name != "sensor" || cons.Channel() != ch {
+		t.Fatal("format negotiation broken")
+	}
+
+	var got []pbio.Record
+	var gotAttrs Attributes
+	cons.SubscribeRecords(func(recs []pbio.Record, attrs Attributes) {
+		got = recs
+		gotAttrs = attrs
+	})
+
+	recs := make([]pbio.Record, 3)
+	for i := range recs {
+		recs[i] = pbio.NewRecord(prod.Format())
+		recs[i].Ints[0][0] = int64(100 + i)
+		recs[i].Floats[1][0] = float64(i) * 1.5
+		recs[i].Floats[1][1] = -float64(i)
+	}
+	if err := prod.SubmitRecords(recs, Attributes{"batch": "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d records", len(got))
+	}
+	if got[2].Ints[0][0] != 102 || got[1].Floats[1][0] != 1.5 {
+		t.Fatalf("record values wrong: %+v", got)
+	}
+	if gotAttrs["batch"] != "7" {
+		t.Fatal("attrs lost")
+	}
+}
+
+func TestOpenTypedWithoutFormat(t *testing.T) {
+	d := NewDomain()
+	ch := d.OpenChannel("untyped")
+	if _, err := OpenTyped(ch); err != ErrNoFormat {
+		t.Fatalf("got %v", err)
+	}
+	ch.SetAttr(AttrFormat, "zz-not-hex")
+	if _, err := OpenTyped(ch); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+}
+
+func TestBindFormatInvalid(t *testing.T) {
+	d := NewDomain()
+	ch := d.OpenChannel("x")
+	if _, err := BindFormat(ch, &pbio.Format{Name: ""}); err == nil {
+		t.Fatal("invalid format accepted")
+	}
+}
+
+func TestSubscribeRecordsSkipsMalformed(t *testing.T) {
+	d := NewDomain()
+	ch := d.OpenChannel("sensors")
+	tc, _ := BindFormat(ch, sensorFormat())
+	n := 0
+	tc.SubscribeRecords(func([]pbio.Record, Attributes) { n++ })
+	// Payload not a multiple of record size: dropped, not delivered or
+	// panicking.
+	ch.Submit(Event{Data: []byte{1, 2, 3}})
+	if n != 0 {
+		t.Fatal("malformed batch delivered")
+	}
+}
+
+// TestTypedChannelAcrossBridge checks format negotiation across address
+// spaces, including the late-joiner attribute sync: the consumer imports
+// the channel after the format was bound.
+func TestTypedChannelAcrossBridge(t *testing.T) {
+	c1, c2 := net.Pipe()
+	d1, d2 := NewDomain(), NewDomain()
+	b1, b2 := NewBridge(d1, c1), NewBridge(d2, c2)
+	defer func() {
+		b1.Close()
+		b2.Close()
+		<-b1.Done()
+		<-b2.Done()
+	}()
+
+	prodCh := d1.OpenChannel("sensors")
+	prod, err := BindFormat(prodCh, sensorFormat())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	imported, err := b2.ImportChannel("sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The format attribute arrives asynchronously with the subscription.
+	var cons *TypedChannel
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cons, err = OpenTyped(imported); err == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if cons == nil {
+		t.Fatal("format attribute never propagated")
+	}
+
+	got := make(chan []pbio.Record, 1)
+	cons.SubscribeRecords(func(recs []pbio.Record, _ Attributes) { got <- recs })
+
+	for time.Now().Before(deadline) {
+		if prodCh.Subscribers() > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rec := pbio.NewRecord(prod.Format())
+	rec.Ints[0][0] = 424242
+	rec.Floats[1][0] = 3.25
+	if err := prod.SubmitRecords([]pbio.Record{rec}, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case recs := <-got:
+		if len(recs) != 1 || recs[0].Ints[0][0] != 424242 || recs[0].Floats[1][0] != 3.25 {
+			t.Fatalf("records = %+v", recs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("typed event never arrived")
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationMethods(t *testing.T) {
+	r := runQuick(t, "ablation-methods")
+	noShapeMismatch(t, r)
+	tbl := r.Tables[0]
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Structural checks on the two extreme links: on the gigabit link the
+	// "none" column must be near the adaptive column (compression cannot
+	// pay), and on the international link "none" must be the worst.
+	var giga, intl []string
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "1GBit":
+			giga = row
+		case "international":
+			intl = row
+		}
+	}
+	if giga == nil || intl == nil {
+		t.Fatal("missing link rows")
+	}
+	gAdaptive, gNone := parseF(t, giga[1]), parseF(t, giga[2])
+	if gAdaptive > gNone*1.1 {
+		t.Errorf("gigabit: adaptive %.2f should track raw %.2f", gAdaptive, gNone)
+	}
+	iNone := parseF(t, intl[2])
+	for c := 3; c <= 5; c++ {
+		if parseF(t, intl[c]) >= iNone {
+			t.Errorf("international: fixed method col %d (%.2f) should beat raw (%.2f)",
+				c, parseF(t, intl[c]), iNone)
+		}
+	}
+}
+
+func TestAblationThresholds(t *testing.T) {
+	r := runQuick(t, "ablation-thresholds")
+	tbl := r.Tables[0]
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Extreme thresholds must hurt: the largest scale (effectively "never
+	// compress until absurdly slow") must ship more wire bytes than the
+	// paper's constants.
+	defWire := parseF(t, tbl.Rows[2][2])
+	hugeWire := parseF(t, tbl.Rows[len(tbl.Rows)-1][2])
+	if hugeWire <= defWire {
+		t.Errorf("8x thresholds shipped %.1f%% wire vs default %.1f%% — sweep not discriminating",
+			hugeWire, defWire)
+	}
+}
+
+func TestAblationBlockSize(t *testing.T) {
+	r := runQuick(t, "ablation-blocksize")
+	tbl := r.Tables[0]
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Tiny blocks must pay visible per-block overhead: worse wire ratio
+	// than the paper's size.
+	tinyWire := parseF(t, tbl.Rows[0][3])
+	paperWire := parseF(t, tbl.Rows[2][3])
+	if tinyWire <= paperWire {
+		t.Errorf("0.25x blocks wire %.1f%% should exceed paper-size %.1f%%", tinyWire, paperWire)
+	}
+}
+
+func TestAblationProbeSize(t *testing.T) {
+	r := runQuick(t, "ablation-probe")
+	tbl := r.Tables[0]
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// A 256-byte probe must misjudge compressibility badly enough to ship
+	// more wire bytes than the 4 KB probe.
+	tiny := parseF(t, tbl.Rows[0][2])
+	paper := parseF(t, tbl.Rows[2][2])
+	if tiny <= paper {
+		t.Errorf("256 B probe wire %.1f%% should exceed 4 KB probe %.1f%%", tiny, paper)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSpace(s)
+	var v float64
+	if _, err := sscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestAblationPolicies(t *testing.T) {
+	r := runQuick(t, "ablation-policy")
+	tbl := r.Tables[0]
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Both policies must agree on the easy case: compressing commercial
+	// data under heavy load, with comparable totals.
+	ratioTotal := parseF(t, tbl.Rows[0][2])
+	charTotal := parseF(t, tbl.Rows[1][2])
+	if charTotal > ratioTotal*1.3 || ratioTotal > charTotal*1.3 {
+		t.Errorf("commercial totals diverge: %v vs %v", ratioTotal, charTotal)
+	}
+}

@@ -1,0 +1,178 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestVirtualClock(t *testing.T) {
+	v := NewVirtual()
+	start := v.Now()
+	v.Advance(3 * time.Second)
+	if got := v.Now().Sub(start); got != 3*time.Second {
+		t.Fatalf("advanced %v", got)
+	}
+	v.Advance(-time.Second) // ignored
+	if v.Elapsed() != 3*time.Second {
+		t.Fatalf("Elapsed = %v", v.Elapsed())
+	}
+}
+
+func TestProfilesMatchPaper(t *testing.T) {
+	// Figure 5 values.
+	want := []struct {
+		name string
+		mbps float64
+		std  float64
+	}{
+		{"1GBit", 26.32094622, 0.00782},
+		{"100MBit", 7.520270348, 0.0895},
+		{"1MBit", 0.146907607, 0.0117},
+		{"international", 0.10891426, 0.4602},
+	}
+	profs := Profiles()
+	if len(profs) != 4 {
+		t.Fatalf("Profiles() returned %d", len(profs))
+	}
+	for i, w := range want {
+		p := profs[i]
+		if p.Name != w.name {
+			t.Errorf("profile %d name = %q", i, p.Name)
+		}
+		if math.Abs(p.RateBps/1e6-w.mbps) > 1e-9 {
+			t.Errorf("%s rate = %v MB/s want %v", p.Name, p.RateBps/1e6, w.mbps)
+		}
+		if math.Abs(p.JitterFrac-w.std) > 1e-9 {
+			t.Errorf("%s jitter = %v want %v", p.Name, p.JitterFrac, w.std)
+		}
+	}
+}
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	clk := NewVirtual()
+	link := NewLink(Profile{Name: "flat", RateBps: 1e6, JitterFrac: 0, Latency: 0}, clk, 1)
+	d1 := link.TransferTime(100000)
+	d2 := link.TransferTime(200000)
+	if math.Abs(d2.Seconds()-2*d1.Seconds()) > 1e-6 {
+		t.Fatalf("expected linear scaling: %v vs %v", d1, d2)
+	}
+	if math.Abs(d1.Seconds()-0.1) > 1e-6 {
+		t.Fatalf("100 KB at 1 MB/s should take 0.1 s, got %v", d1)
+	}
+}
+
+func TestLatencyAdds(t *testing.T) {
+	clk := NewVirtual()
+	link := NewLink(Profile{Name: "lat", RateBps: 1e9, JitterFrac: 0, Latency: 50 * time.Millisecond}, clk, 1)
+	d := link.TransferTime(1)
+	if d < 50*time.Millisecond {
+		t.Fatalf("latency not applied: %v", d)
+	}
+}
+
+func TestLoadReducesRate(t *testing.T) {
+	clk := NewVirtual()
+	mk := func(loadFrac float64) time.Duration {
+		link := NewLink(Profile{Name: "l", RateBps: 1e6, JitterFrac: 0}, clk, 1)
+		link.SetLoad(func(time.Time) float64 { return loadFrac })
+		return link.TransferTime(100000)
+	}
+	unloaded := mk(0)
+	halfLoaded := mk(0.5)
+	if math.Abs(halfLoaded.Seconds()-2*unloaded.Seconds()) > 1e-6 {
+		t.Fatalf("50%% load should double send time: %v vs %v", unloaded, halfLoaded)
+	}
+	// Extreme load is clamped, not divide-by-zero.
+	if d := mk(1.5); d <= 0 || d > time.Hour {
+		t.Fatalf("clamped load produced %v", d)
+	}
+	if d := mk(-3); math.Abs(d.Seconds()-unloaded.Seconds()) > 1e-6 {
+		t.Fatalf("negative load should clamp to none: %v", d)
+	}
+}
+
+func TestJitterStatisticsMatchProfile(t *testing.T) {
+	clk := NewVirtual()
+	link := NewLink(Profile{Name: "j", RateBps: 1e6, JitterFrac: 0.10}, clk, 42)
+	n := 20000
+	blockSize := 100000
+	var rates []float64
+	for i := 0; i < n; i++ {
+		d := link.TransferTime(blockSize)
+		rates = append(rates, float64(blockSize)/d.Seconds())
+	}
+	mean, std := meanStd(rates)
+	if math.Abs(mean-1e6)/1e6 > 0.02 {
+		t.Fatalf("mean rate = %v, want ≈1e6", mean)
+	}
+	if rel := std / mean; math.Abs(rel-0.10) > 0.02 {
+		t.Fatalf("relative stddev = %.4f, want ≈0.10", rel)
+	}
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}
+
+func TestSendAdvancesVirtualClock(t *testing.T) {
+	clk := NewVirtual()
+	link := NewLink(Profile{Name: "s", RateBps: 1e6, JitterFrac: 0}, clk, 1)
+	d := link.Send(500000)
+	if clk.Elapsed() != d {
+		t.Fatalf("clock advanced %v, send took %v", clk.Elapsed(), d)
+	}
+}
+
+func TestStats(t *testing.T) {
+	clk := NewVirtual()
+	link := NewLink(Profile{Name: "st", RateBps: 1e6, JitterFrac: 0}, clk, 1)
+	link.Send(1000)
+	link.Send(2000)
+	s := link.Stats()
+	if s.Blocks != 2 || s.Bytes != 3000 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MeanGoodput <= 0 || s.MinGoodput <= 0 || s.MaxGoodput < s.MinGoodput {
+		t.Fatalf("goodput stats = %+v", s)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() []time.Duration {
+		clk := NewVirtual()
+		link := NewLink(Fast100, clk, 99)
+		var out []time.Duration
+		for i := 0; i < 10; i++ {
+			out = append(out, link.Send(128*1024))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce identical transfer times")
+		}
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	s := Gigabit.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = RealClock{}
+	if c.Now().IsZero() {
+		t.Fatal("RealClock returned zero time")
+	}
+}

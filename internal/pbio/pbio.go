@@ -1,0 +1,336 @@
+// Package pbio implements a self-describing heterogeneous binary record
+// format in the spirit of PBIO (Plale et al., PDCS 2000 — the paper's ref
+// [35]), which the original system used to represent its binary scientific
+// data efficiently.
+//
+// A stream carries a format descriptor once, followed by packed records.
+// Formats describe named, typed, fixed-arity fields; both row-major record
+// encoding (the stream format) and columnar extraction (used by the Figure 6
+// experiments, which compress each field class separately) are provided.
+package pbio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Kind enumerates field element types.
+type Kind uint8
+
+// Field element types. Values are wire identifiers.
+const (
+	Uint8 Kind = iota + 1
+	Int32
+	Int64
+	Float32
+	Float64
+)
+
+// ErrCorrupt is returned for malformed descriptors or record data.
+var ErrCorrupt = errors.New("pbio: corrupt input")
+
+// Size returns the encoded size of one element of the kind.
+func (k Kind) Size() int {
+	switch k {
+	case Uint8:
+		return 1
+	case Int32, Float32:
+		return 4
+	case Int64, Float64:
+		return 8
+	}
+	return 0
+}
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Uint8:
+		return "uint8"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Field is one record member: Count > 1 declares a fixed-length array.
+type Field struct {
+	Name  string
+	Kind  Kind
+	Count int
+}
+
+// Format describes a record layout.
+type Format struct {
+	Name   string
+	Fields []Field
+}
+
+// RecordSize returns the packed byte size of one record.
+func (f *Format) RecordSize() int {
+	n := 0
+	for _, fl := range f.Fields {
+		n += fl.Kind.Size() * fl.Count
+	}
+	return n
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (f *Format) FieldIndex(name string) int {
+	for i, fl := range f.Fields {
+		if fl.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks the format for encodability.
+func (f *Format) Validate() error {
+	if f.Name == "" {
+		return errors.New("pbio: format needs a name")
+	}
+	if len(f.Fields) == 0 {
+		return errors.New("pbio: format needs at least one field")
+	}
+	for _, fl := range f.Fields {
+		if fl.Kind.Size() == 0 {
+			return fmt.Errorf("pbio: field %q has invalid kind", fl.Name)
+		}
+		if fl.Count < 1 {
+			return fmt.Errorf("pbio: field %q has invalid count %d", fl.Name, fl.Count)
+		}
+		if fl.Name == "" {
+			return errors.New("pbio: field needs a name")
+		}
+	}
+	return nil
+}
+
+// Record holds one record's values, parallel to Format.Fields. Integer kinds
+// use Ints, floating kinds use Floats; each slice has the field's Count
+// elements.
+type Record struct {
+	Ints   [][]int64
+	Floats [][]float64
+}
+
+// NewRecord allocates a Record shaped for f.
+func NewRecord(f *Format) Record {
+	r := Record{
+		Ints:   make([][]int64, len(f.Fields)),
+		Floats: make([][]float64, len(f.Fields)),
+	}
+	for i, fl := range f.Fields {
+		switch fl.Kind {
+		case Uint8, Int32, Int64:
+			r.Ints[i] = make([]int64, fl.Count)
+		default:
+			r.Floats[i] = make([]float64, fl.Count)
+		}
+	}
+	return r
+}
+
+// WriteFormat serializes a format descriptor.
+func WriteFormat(w io.Writer, f *Format) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 64)
+	buf = appendString(buf, f.Name)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Fields)))
+	for _, fl := range f.Fields {
+		buf = appendString(buf, fl.Name)
+		buf = append(buf, byte(fl.Kind))
+		buf = binary.AppendUvarint(buf, uint64(fl.Count))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// ReadFormat parses a format descriptor.
+func ReadFormat(r io.ByteReader) (*Format, error) {
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	nf, err := binary.ReadUvarint(r)
+	if err != nil || nf == 0 || nf > 1024 {
+		return nil, fmt.Errorf("%w: field count", ErrCorrupt)
+	}
+	f := &Format{Name: name, Fields: make([]Field, nf)}
+	for i := range f.Fields {
+		fn, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		kb, err := r.ReadByte()
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		cnt, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		f.Fields[i] = Field{Name: fn, Kind: Kind(kb), Count: int(cnt)}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return f, nil
+}
+
+func readString(r io.ByteReader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", unexpectedEOF(err)
+	}
+	if n > 4096 {
+		return "", fmt.Errorf("%w: string too long", ErrCorrupt)
+	}
+	b := make([]byte, n)
+	for i := range b {
+		c, err := r.ReadByte()
+		if err != nil {
+			return "", unexpectedEOF(err)
+		}
+		b[i] = c
+	}
+	return string(b), nil
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// AppendRecord packs rec (shaped for f) onto dst in little-endian layout.
+func AppendRecord(dst []byte, f *Format, rec Record) ([]byte, error) {
+	for i, fl := range f.Fields {
+		switch fl.Kind {
+		case Uint8:
+			vals := rec.Ints[i]
+			if len(vals) != fl.Count {
+				return nil, fmt.Errorf("pbio: field %q: %d values, want %d", fl.Name, len(vals), fl.Count)
+			}
+			for _, v := range vals {
+				dst = append(dst, byte(v))
+			}
+		case Int32:
+			vals := rec.Ints[i]
+			if len(vals) != fl.Count {
+				return nil, fmt.Errorf("pbio: field %q: %d values, want %d", fl.Name, len(vals), fl.Count)
+			}
+			for _, v := range vals {
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(v)))
+			}
+		case Int64:
+			vals := rec.Ints[i]
+			if len(vals) != fl.Count {
+				return nil, fmt.Errorf("pbio: field %q: %d values, want %d", fl.Name, len(vals), fl.Count)
+			}
+			for _, v := range vals {
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+			}
+		case Float32:
+			vals := rec.Floats[i]
+			if len(vals) != fl.Count {
+				return nil, fmt.Errorf("pbio: field %q: %d values, want %d", fl.Name, len(vals), fl.Count)
+			}
+			for _, v := range vals {
+				dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(v)))
+			}
+		case Float64:
+			vals := rec.Floats[i]
+			if len(vals) != fl.Count {
+				return nil, fmt.Errorf("pbio: field %q: %d values, want %d", fl.Name, len(vals), fl.Count)
+			}
+			for _, v := range vals {
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+			}
+		default:
+			return nil, fmt.Errorf("pbio: field %q has invalid kind", fl.Name)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeRecord unpacks one record from src, returning the remaining bytes.
+func DecodeRecord(src []byte, f *Format, rec *Record) ([]byte, error) {
+	if len(src) < f.RecordSize() {
+		return nil, fmt.Errorf("%w: truncated record", ErrCorrupt)
+	}
+	for i, fl := range f.Fields {
+		switch fl.Kind {
+		case Uint8:
+			for j := 0; j < fl.Count; j++ {
+				rec.Ints[i][j] = int64(src[0])
+				src = src[1:]
+			}
+		case Int32:
+			for j := 0; j < fl.Count; j++ {
+				rec.Ints[i][j] = int64(int32(binary.LittleEndian.Uint32(src)))
+				src = src[4:]
+			}
+		case Int64:
+			for j := 0; j < fl.Count; j++ {
+				rec.Ints[i][j] = int64(binary.LittleEndian.Uint64(src))
+				src = src[8:]
+			}
+		case Float32:
+			for j := 0; j < fl.Count; j++ {
+				rec.Floats[i][j] = float64(math.Float32frombits(binary.LittleEndian.Uint32(src)))
+				src = src[4:]
+			}
+		case Float64:
+			for j := 0; j < fl.Count; j++ {
+				rec.Floats[i][j] = math.Float64frombits(binary.LittleEndian.Uint64(src))
+				src = src[8:]
+			}
+		}
+	}
+	return src, nil
+}
+
+// ExtractColumn returns the packed bytes of a single field across all
+// records in src (columnar projection). This is how the Figure 6
+// experiments obtain separately compressible "type", "velocity" and
+// "coordinates" streams from one record batch.
+func ExtractColumn(src []byte, f *Format, fieldIdx int) ([]byte, error) {
+	if fieldIdx < 0 || fieldIdx >= len(f.Fields) {
+		return nil, fmt.Errorf("pbio: field index %d out of range", fieldIdx)
+	}
+	rs := f.RecordSize()
+	if rs == 0 || len(src)%rs != 0 {
+		return nil, fmt.Errorf("%w: batch size %d not a multiple of record size %d", ErrCorrupt, len(src), rs)
+	}
+	off := 0
+	for i := 0; i < fieldIdx; i++ {
+		off += f.Fields[i].Kind.Size() * f.Fields[i].Count
+	}
+	w := f.Fields[fieldIdx].Kind.Size() * f.Fields[fieldIdx].Count
+	n := len(src) / rs
+	out := make([]byte, 0, n*w)
+	for i := 0; i < n; i++ {
+		base := i*rs + off
+		out = append(out, src[base:base+w]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,264 @@
+package pbio
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testFormat() *Format {
+	return &Format{
+		Name: "test_rec",
+		Fields: []Field{
+			{Name: "id", Kind: Int64, Count: 1},
+			{Name: "flags", Kind: Uint8, Count: 4},
+			{Name: "pos", Kind: Float64, Count: 3},
+			{Name: "vel", Kind: Float32, Count: 3},
+			{Name: "code", Kind: Int32, Count: 1},
+		},
+	}
+}
+
+func TestKindSizes(t *testing.T) {
+	want := map[Kind]int{Uint8: 1, Int32: 4, Int64: 8, Float32: 4, Float64: 8, Kind(0): 0, Kind(99): 0}
+	for k, n := range want {
+		if k.Size() != n {
+			t.Errorf("%v.Size() = %d want %d", k, k.Size(), n)
+		}
+	}
+}
+
+func TestRecordSize(t *testing.T) {
+	f := testFormat()
+	want := 8 + 4 + 24 + 12 + 4
+	if f.RecordSize() != want {
+		t.Fatalf("RecordSize = %d want %d", f.RecordSize(), want)
+	}
+}
+
+func TestFieldIndex(t *testing.T) {
+	f := testFormat()
+	if f.FieldIndex("pos") != 2 {
+		t.Fatalf("FieldIndex(pos) = %d", f.FieldIndex("pos"))
+	}
+	if f.FieldIndex("missing") != -1 {
+		t.Fatal("expected -1 for missing field")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Format{
+		{Name: "", Fields: []Field{{Name: "a", Kind: Uint8, Count: 1}}},
+		{Name: "x", Fields: nil},
+		{Name: "x", Fields: []Field{{Name: "a", Kind: Kind(0), Count: 1}}},
+		{Name: "x", Fields: []Field{{Name: "a", Kind: Uint8, Count: 0}}},
+		{Name: "x", Fields: []Field{{Name: "", Kind: Uint8, Count: 1}}},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if err := testFormat().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatRoundtrip(t *testing.T) {
+	f := testFormat()
+	var buf bytes.Buffer
+	if err := WriteFormat(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFormat(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != f.Name || len(got.Fields) != len(f.Fields) {
+		t.Fatalf("format mismatch: %+v", got)
+	}
+	for i := range f.Fields {
+		if got.Fields[i] != f.Fields[i] {
+			t.Fatalf("field %d: %+v != %+v", i, got.Fields[i], f.Fields[i])
+		}
+	}
+}
+
+func TestReadFormatCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0x04, 'a'},             // truncated name
+		{0x01, 'x', 0x00},       // zero fields
+		{0x01, 'x', 0xFF, 0x7F}, // absurd field count
+	}
+	for i, c := range cases {
+		if _, err := ReadFormat(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRecordRoundtrip(t *testing.T) {
+	f := testFormat()
+	rec := NewRecord(f)
+	rec.Ints[0][0] = -1234567890123
+	copy(rec.Ints[1], []int64{1, 2, 254, 255})
+	copy(rec.Floats[2], []float64{3.14159, -2.71828, 1e-300})
+	copy(rec.Floats[3], []float64{1.5, -0.25, 65504})
+	rec.Ints[4][0] = -42
+
+	buf, err := AppendRecord(nil, f, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != f.RecordSize() {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), f.RecordSize())
+	}
+	out := NewRecord(f)
+	rest, err := DecodeRecord(buf, f, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+	if out.Ints[0][0] != rec.Ints[0][0] || out.Ints[4][0] != rec.Ints[4][0] {
+		t.Fatal("integer fields mismatch")
+	}
+	for i := range rec.Ints[1] {
+		if out.Ints[1][i] != rec.Ints[1][i] {
+			t.Fatal("uint8 array mismatch")
+		}
+	}
+	for i := range rec.Floats[2] {
+		if out.Floats[2][i] != rec.Floats[2][i] {
+			t.Fatal("float64 array mismatch")
+		}
+	}
+	for i := range rec.Floats[3] {
+		if float32(out.Floats[3][i]) != float32(rec.Floats[3][i]) {
+			t.Fatal("float32 array mismatch")
+		}
+	}
+}
+
+func TestAppendRecordShapeMismatch(t *testing.T) {
+	f := testFormat()
+	rec := NewRecord(f)
+	rec.Ints[1] = rec.Ints[1][:2] // wrong arity
+	if _, err := AppendRecord(nil, f, rec); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestDecodeRecordTruncated(t *testing.T) {
+	f := testFormat()
+	rec := NewRecord(f)
+	if _, err := DecodeRecord(make([]byte, f.RecordSize()-1), f, &rec); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestExtractColumn(t *testing.T) {
+	f := &Format{
+		Name: "cols",
+		Fields: []Field{
+			{Name: "a", Kind: Uint8, Count: 1},
+			{Name: "b", Kind: Int32, Count: 2},
+		},
+	}
+	rec := NewRecord(f)
+	var batch []byte
+	var err error
+	for i := 0; i < 5; i++ {
+		rec.Ints[0][0] = int64(i)
+		rec.Ints[1][0] = int64(i * 10)
+		rec.Ints[1][1] = int64(i * 100)
+		batch, err = AppendRecord(batch, f, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	colA, err := ExtractColumn(batch, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(colA, []byte{0, 1, 2, 3, 4}) {
+		t.Fatalf("column a = %v", colA)
+	}
+	colB, err := ExtractColumn(batch, f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(colB) != 5*8 {
+		t.Fatalf("column b size = %d", len(colB))
+	}
+	if _, err := ExtractColumn(batch, f, 2); err == nil {
+		t.Fatal("expected index error")
+	}
+	if _, err := ExtractColumn(batch[:len(batch)-1], f, 0); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestQuickRecordRoundtrip(t *testing.T) {
+	f := &Format{
+		Name: "q",
+		Fields: []Field{
+			{Name: "i64", Kind: Int64, Count: 2},
+			{Name: "f64", Kind: Float64, Count: 2},
+			{Name: "u8", Kind: Uint8, Count: 3},
+		},
+	}
+	fn := func(a, b int64, x, y float64, p, q, r uint8) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true // NaN compares unequal; skip
+		}
+		rec := NewRecord(f)
+		rec.Ints[0][0], rec.Ints[0][1] = a, b
+		rec.Floats[1][0], rec.Floats[1][1] = x, y
+		rec.Ints[2][0], rec.Ints[2][1], rec.Ints[2][2] = int64(p), int64(q), int64(r)
+		buf, err := AppendRecord(nil, f, rec)
+		if err != nil {
+			return false
+		}
+		out := NewRecord(f)
+		if _, err := DecodeRecord(buf, f, &out); err != nil {
+			return false
+		}
+		return out.Ints[0][0] == a && out.Ints[0][1] == b &&
+			out.Floats[1][0] == x && out.Floats[1][1] == y &&
+			out.Ints[2][0] == int64(p) && out.Ints[2][1] == int64(q) && out.Ints[2][2] == int64(r)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		Uint8: "uint8", Int32: "int32", Int64: "int64",
+		Float32: "float32", Float64: "float64", Kind(42): "kind(42)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestReadFormatTruncatedMidFields(t *testing.T) {
+	// A valid prefix that ends inside the field list must surface
+	// ErrUnexpectedEOF-style failures, not io.EOF masquerading as success.
+	var buf bytes.Buffer
+	if err := WriteFormat(&buf, testFormat()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut += 3 {
+		if _, err := ReadFormat(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("cut %d: truncated format accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package rudp
+
+import (
+	"testing"
+	"time"
+
+	"ccx/internal/core"
+	"ccx/internal/datagen"
+	"ccx/internal/netsim"
+)
+
+// fixedPath delivers every packet with constant delay, dropping a scripted
+// set of transmission indices.
+type fixedPath struct {
+	delay time.Duration
+	drops map[int]bool
+	count int
+}
+
+func (p *fixedPath) Transmit(size int) (time.Duration, bool) {
+	i := p.count
+	p.count++
+	return p.delay, p.drops[i]
+}
+
+func TestTransferLossFree(t *testing.T) {
+	path := &fixedPath{delay: 5 * time.Millisecond}
+	cfg := Config{PacketSize: 1000, RateBps: 1e6, RTT: 40 * time.Millisecond}
+	res, err := Transfer(path, cfg, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 10 || res.Retransmits != 0 || res.Rounds != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	// 10 packets paced at 1 ms each + 5 ms delay + RTT/2 tail = ~35 ms.
+	want := 10*time.Millisecond + 5*time.Millisecond + 20*time.Millisecond
+	if res.Duration < want-time.Millisecond || res.Duration > want+5*time.Millisecond {
+		t.Fatalf("duration = %v want ≈%v", res.Duration, want)
+	}
+}
+
+func TestTransferWithLoss(t *testing.T) {
+	// Drop the 3rd and 7th transmissions: both retransmitted in round 2.
+	path := &fixedPath{delay: time.Millisecond, drops: map[int]bool{2: true, 6: true}}
+	cfg := Config{PacketSize: 1000, RateBps: 1e6, RTT: 20 * time.Millisecond}
+	res, err := Transfer(path, cfg, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 12 || res.Retransmits != 2 || res.Rounds != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestTransferTooLossy(t *testing.T) {
+	drops := map[int]bool{}
+	for i := 0; i < 100000; i++ {
+		drops[i] = true
+	}
+	path := &fixedPath{delay: time.Millisecond, drops: drops}
+	if _, err := Transfer(path, Config{MaxRounds: 3}, 5000); err != ErrTooLossy {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTransferInvalidLength(t *testing.T) {
+	if _, err := Transfer(&fixedPath{}, Config{}, 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	if _, err := StopAndWait(&fixedPath{}, Config{}, -1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+// TestRUDPBeatsStopAndWaitOnLongFatPath is the transport's reason to exist:
+// on the international link's RTT, per-packet acknowledgement collapses.
+func TestRUDPBeatsStopAndWaitOnLongFatPath(t *testing.T) {
+	mk := func(seed int64) *SimPath {
+		link := netsim.NewLink(netsim.International, netsim.NewVirtual(), seed)
+		return NewSimPath(link, 0.02, seed+100)
+	}
+	cfg := Config{PacketSize: 1400, RateBps: netsim.International.RateBps, RTT: 300 * time.Millisecond}
+	block := 256 << 10
+	rudpRes, err := Transfer(mk(1), cfg, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRes, err := StopAndWait(mk(1), cfg, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rudp %v (%.0f B/s) vs stop-and-wait %v (%.0f B/s)",
+		rudpRes.Duration, rudpRes.Goodput, sawRes.Duration, sawRes.Goodput)
+	if rudpRes.Duration*10 > sawRes.Duration {
+		t.Fatalf("rate-based transport should be ≥10x faster: %v vs %v",
+			rudpRes.Duration, sawRes.Duration)
+	}
+}
+
+func TestTransferRecoversAllLossRates(t *testing.T) {
+	for _, loss := range []float64{0, 0.01, 0.1, 0.3} {
+		link := netsim.NewLink(netsim.Fast100, netsim.NewVirtual(), 3)
+		path := NewSimPath(link, loss, 7)
+		res, err := Transfer(path, Config{RateBps: 2e6, RTT: 50 * time.Millisecond}, 512<<10)
+		if err != nil {
+			t.Fatalf("loss %v: %v", loss, err)
+		}
+		minPackets := (512 << 10) / 1400
+		if res.Packets < minPackets {
+			t.Fatalf("loss %v: only %d packets", loss, res.Packets)
+		}
+		if loss == 0 && res.Retransmits != 0 {
+			t.Fatalf("retransmits on loss-free path: %+v", res)
+		}
+		if loss > 0 && res.Retransmits == 0 {
+			t.Fatalf("loss %v: no retransmits recorded", loss)
+		}
+	}
+}
+
+// TestAsEngineTransport closes the loop with the compression engine: RUDP
+// transfer durations feed the goodput monitor and drive method selection,
+// the §3 "alternative communication protocols" integration.
+func TestAsEngineTransport(t *testing.T) {
+	engine, err := core.NewEngine(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := netsim.NewLink(netsim.Slow1M, netsim.NewVirtual(), 5)
+	path := NewSimPath(link, 0.01, 11)
+	cfg := Config{RateBps: netsim.Slow1M.RateBps, RTT: 80 * time.Millisecond}
+
+	send := func(frame []byte) (time.Duration, error) {
+		res, err := Transfer(path, cfg, len(frame))
+		if err != nil {
+			return 0, err
+		}
+		return res.Duration, nil
+	}
+	s := core.NewSession(engine)
+	data := datagen.OISTransactions(512<<10, 0.9, 2)
+	results, err := s.Stream(data, send, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed := 0
+	for _, r := range results {
+		if r.Info.Method.String() != "none" {
+			compressed++
+		}
+	}
+	if compressed == 0 {
+		t.Fatal("engine never compressed over the slow RUDP path")
+	}
+}

@@ -1,0 +1,106 @@
+package selector
+
+import (
+	"testing"
+	"time"
+
+	"ccx/internal/codec"
+)
+
+func TestRatioPolicyMatchesConfigSelect(t *testing.T) {
+	cfg := DefaultConfig()
+	p := RatioPolicy{Config: cfg}
+	if p.Name() != "ratio" {
+		t.Fatal("name")
+	}
+	in := base()
+	in.SendTime = 30 * time.Millisecond
+	if got, want := p.Select(in).Method, cfg.Select(in).Method; got != want {
+		t.Fatalf("policy %v != config %v", got, want)
+	}
+}
+
+func charBase() Inputs {
+	return Inputs{
+		BlockLen:      128 * 1024,
+		ProbeRatio:    0.30,
+		ReducingSpeed: 5e6,
+		Entropy:       4.5,
+		Repetition:    0.8,
+	}
+}
+
+func TestCharacteristicPolicyFirstBlock(t *testing.T) {
+	p := CharacteristicPolicy{Config: DefaultConfig()}
+	in := charBase()
+	in.SendTime = 0
+	if d := p.Select(in); d.Method != codec.None {
+		t.Fatalf("first block = %v", d.Method)
+	}
+}
+
+func TestCharacteristicPolicyRepetitiveData(t *testing.T) {
+	p := CharacteristicPolicy{Config: DefaultConfig()}
+	in := charBase() // repetition 0.8 → dictionary family
+	in.SendTime = 30 * time.Millisecond
+	if d := p.Select(in); d.Method != codec.LempelZiv {
+		t.Fatalf("moderate line, repetitive = %v", d.Method)
+	}
+	in.SendTime = 500 * time.Millisecond
+	if d := p.Select(in); d.Method != codec.BurrowsWheeler {
+		t.Fatalf("slow line, repetitive = %v", d.Method)
+	}
+	in.SendTime = time.Millisecond
+	if d := p.Select(in); d.Method != codec.None {
+		t.Fatalf("fast line, repetitive = %v", d.Method)
+	}
+}
+
+func TestCharacteristicPolicyLowEntropyData(t *testing.T) {
+	p := CharacteristicPolicy{Config: DefaultConfig()}
+	in := charBase()
+	in.Repetition = 0.05 // no string structure
+	in.Entropy = 2.0     // strongly low-entropy
+	in.ProbeRatio = 0.8
+	in.SendTime = 200 * time.Millisecond
+	if d := p.Select(in); d.Method != codec.Huffman {
+		t.Fatalf("low-entropy family = %v", d.Method)
+	}
+	// Very fast line: entropy coding cannot pay.
+	in.SendTime = 10 * time.Microsecond
+	if d := p.Select(in); d.Method != codec.None {
+		t.Fatalf("fast line, low entropy = %v", d.Method)
+	}
+}
+
+func TestCharacteristicPolicyHighEntropyRandom(t *testing.T) {
+	p := CharacteristicPolicy{Config: DefaultConfig()}
+	in := charBase()
+	in.Repetition = 0.01
+	in.Entropy = 7.99
+	in.ProbeRatio = 1.0
+	in.ReducingSpeed = 0
+	in.SendTime = time.Hour
+	if d := p.Select(in); d.Method != codec.None {
+		t.Fatalf("random data = %v", d.Method)
+	}
+}
+
+func TestCharacteristicPolicyNoReductionRepetitive(t *testing.T) {
+	// Claims repetition but LZ found no reduction: trust the cost model
+	// and send raw.
+	p := CharacteristicPolicy{Config: DefaultConfig()}
+	in := charBase()
+	in.ReducingSpeed = 0
+	in.ProbeRatio = 1
+	in.SendTime = time.Second
+	if d := p.Select(in); d.Method != codec.None {
+		t.Fatalf("got %v", d.Method)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (CharacteristicPolicy{}).Name() != "characteristic" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,152 @@
+// Package selector implements the paper's table-driven compression-method
+// selection algorithm (§2.5). Per 128 KB block, it weighs the predicted
+// time to send the block uncompressed (from end-to-end goodput measurement)
+// against the predicted time for Lempel-Ziv to reduce the block (from the
+// 4 KB sampling probe), and picks:
+//
+//	no compression   — the line is fast relative to the CPU
+//	Huffman          — the line is slow but the data lacks string repeats
+//	Lempel-Ziv       — the line is slow and the data is compressible
+//	Burrows-Wheeler  — the line is so slow the strongest method pays off
+//
+// The paper's constants (0.83, 3.48, 48.78 %) are defaults in Config; §2.5
+// notes they "can be tuned easily by sampling even a small piece of data",
+// so everything is parameterized.
+package selector
+
+import (
+	"fmt"
+	"time"
+
+	"ccx/internal/codec"
+)
+
+// Paper constants from the §2.5 pseudocode.
+const (
+	// DefaultBlockSize is the paper's 128 KB block unit.
+	DefaultBlockSize = 128 * 1024
+	// DefaultSendVsReduce is the compression-pays-off threshold: compress
+	// when sending takes more than 0.83× the Lempel-Ziv reduction time.
+	DefaultSendVsReduce = 0.83
+	// DefaultStrongVsReduce is the Burrows-Wheeler threshold: use the
+	// strongest method when sending takes more than 3.48× the Lempel-Ziv
+	// reduction time.
+	DefaultStrongVsReduce = 3.48
+	// DefaultSampleCutoff is the compressibility gate: the 4 KB probe must
+	// shrink below 48.78 % of its original size for the dictionary methods
+	// to be preferred over Huffman.
+	DefaultSampleCutoff = 0.4878
+)
+
+// Config parameterizes the decision algorithm.
+type Config struct {
+	// BlockSize is the transmission block unit in bytes.
+	BlockSize int
+	// SendVsReduce, StrongVsReduce and SampleCutoff are the three decision
+	// thresholds described above.
+	SendVsReduce   float64
+	StrongVsReduce float64
+	SampleCutoff   float64
+}
+
+// DefaultConfig returns the paper's published constants.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:      DefaultBlockSize,
+		SendVsReduce:   DefaultSendVsReduce,
+		StrongVsReduce: DefaultStrongVsReduce,
+		SampleCutoff:   DefaultSampleCutoff,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("selector: block size %d", c.BlockSize)
+	}
+	if c.SendVsReduce <= 0 || c.StrongVsReduce <= 0 {
+		return fmt.Errorf("selector: thresholds must be positive")
+	}
+	if c.StrongVsReduce < c.SendVsReduce {
+		return fmt.Errorf("selector: strong threshold %v below weak threshold %v",
+			c.StrongVsReduce, c.SendVsReduce)
+	}
+	if c.SampleCutoff <= 0 || c.SampleCutoff > 1 {
+		return fmt.Errorf("selector: sample cutoff %v out of (0,1]", c.SampleCutoff)
+	}
+	return nil
+}
+
+// Inputs are the per-block measurements the algorithm consumes.
+type Inputs struct {
+	// BlockLen is the size of the block about to be sent.
+	BlockLen int
+	// SendTime is the predicted time to send the block uncompressed, from
+	// the end-to-end monitor. Zero means "no measurement yet" — the paper's
+	// first-block convention (reducing speed assumed infinite), which sends
+	// uncompressed.
+	SendTime time.Duration
+	// ProbeRatio is the 4 KB Lempel-Ziv probe's compressed fraction
+	// (CompressedLen/SampleLen).
+	ProbeRatio float64
+	// ReducingSpeed is the probe's observed bytes-of-reduction per second;
+	// zero means the probe could not shrink the sample.
+	ReducingSpeed float64
+	// Entropy is the probe sample's order-0 entropy in bits/byte and
+	// Repetition its 4-gram repeat fraction — the Figure 6 data
+	// characteristics consumed by CharacteristicPolicy (the published
+	// RatioPolicy ignores them).
+	Entropy    float64
+	Repetition float64
+}
+
+// LZReduceTime predicts how long Lempel-Ziv needs to reduce the block: the
+// expected byte reduction (extrapolated from the probe ratio) divided by the
+// observed reducing speed. It returns 0 when no reduction is expected —
+// "infinite speed" in the paper's first-block sense never helps compression,
+// and an incompressible probe means there is nothing to reduce.
+func (in Inputs) LZReduceTime() time.Duration {
+	if in.ReducingSpeed <= 0 || in.ProbeRatio >= 1 {
+		return 0
+	}
+	expectedReduction := float64(in.BlockLen) * (1 - in.ProbeRatio)
+	return time.Duration(expectedReduction / in.ReducingSpeed * float64(time.Second))
+}
+
+// Decision records a selection and the reasoning inputs, for the audit
+// trails the experiments plot (Figures 8 and 11).
+type Decision struct {
+	Method       codec.Method
+	Inputs       Inputs
+	LZReduceTime time.Duration
+}
+
+// Select runs the paper's §2.5 algorithm.
+func (c Config) Select(in Inputs) Decision {
+	d := Decision{Method: codec.None, Inputs: in, LZReduceTime: in.LZReduceTime()}
+	// First block, or no goodput measurement: send raw.
+	if in.SendTime <= 0 || in.BlockLen == 0 {
+		return d
+	}
+	reduce := d.LZReduceTime
+	if reduce <= 0 {
+		// The probe could not shrink the sample at all: the block is
+		// effectively incompressible (LZ subsumes an entropy coder for its
+		// literals), so spending CPU cannot reduce network time. Send raw.
+		return d
+	}
+	send := float64(in.SendTime)
+	if send <= c.SendVsReduce*float64(reduce) {
+		return d // line fast enough: don't compress
+	}
+	if in.ProbeRatio < c.SampleCutoff {
+		if send > c.StrongVsReduce*float64(reduce) {
+			d.Method = codec.BurrowsWheeler
+		} else {
+			d.Method = codec.LempelZiv
+		}
+		return d
+	}
+	d.Method = codec.Huffman
+	return d
+}

@@ -1,0 +1,117 @@
+package selector
+
+import "ccx/internal/codec"
+
+// Rating is the paper's four-level qualitative scale (Figure 1).
+type Rating int
+
+// Qualitative ratings, worst to best.
+const (
+	Poor Rating = iota + 1
+	Satisfactory
+	Good
+	Excellent
+)
+
+// String returns the rating label used in the paper's Figure 1.
+func (r Rating) String() string {
+	switch r {
+	case Poor:
+		return "Poor"
+	case Satisfactory:
+		return "Satisfactory"
+	case Good:
+		return "Good"
+	case Excellent:
+		return "Excellent"
+	}
+	return "Unknown"
+}
+
+// Characteristics qualitatively ranks one method along the paper's six
+// dimensions (rows of Figure 1).
+type Characteristics struct {
+	StringRepetition Rating // compresses files with string repetitions
+	LowEntropy       Rating // compresses files with low entropy
+	Efficiency       Rating // compression efficiency
+	CompressTime     Rating // time of compression
+	DecompressTime   Rating // time of decompression
+	GlobalTime       Rating // global time
+}
+
+// MethodTable returns the paper's Figure 1 exactly as published. The
+// Figure1 experiment re-derives these rankings from microbenchmarks to
+// check that our implementations exhibit the same qualitative behaviour.
+func MethodTable() map[codec.Method]Characteristics {
+	return map[codec.Method]Characteristics{
+		codec.BurrowsWheeler: {
+			StringRepetition: Excellent,
+			LowEntropy:       Excellent,
+			Efficiency:       Excellent,
+			CompressTime:     Poor,
+			DecompressTime:   Satisfactory,
+			GlobalTime:       Poor,
+		},
+		codec.LempelZiv: {
+			StringRepetition: Excellent,
+			LowEntropy:       Poor,
+			Efficiency:       Good,
+			CompressTime:     Satisfactory,
+			DecompressTime:   Excellent,
+			GlobalTime:       Good,
+		},
+		codec.Arithmetic: {
+			StringRepetition: Poor,
+			LowEntropy:       Excellent,
+			Efficiency:       Poor,
+			CompressTime:     Poor,
+			DecompressTime:   Poor,
+			GlobalTime:       Poor,
+		},
+		codec.Huffman: {
+			StringRepetition: Poor,
+			LowEntropy:       Excellent,
+			Efficiency:       Poor,
+			CompressTime:     Excellent,
+			DecompressTime:   Excellent,
+			GlobalTime:       Excellent,
+		},
+	}
+}
+
+// TableMethods lists the Figure 1 columns in the paper's order.
+func TableMethods() []codec.Method {
+	return []codec.Method{codec.BurrowsWheeler, codec.LempelZiv, codec.Arithmetic, codec.Huffman}
+}
+
+// Dimensions lists the Figure 1 rows in the paper's order.
+func Dimensions() []string {
+	return []string{
+		"Compress files with string repetitions",
+		"Compress files with low entropy",
+		"Compression Efficiency",
+		"Time of Compression",
+		"Time of Decompression",
+		"Global Time",
+	}
+}
+
+// Rating extracts the rating for a named dimension (as listed by
+// Dimensions); unknown names return 0.
+func (c Characteristics) Rating(dimension string) Rating {
+	switch dimension {
+	case "Compress files with string repetitions":
+		return c.StringRepetition
+	case "Compress files with low entropy":
+		return c.LowEntropy
+	case "Compression Efficiency":
+		return c.Efficiency
+	case "Time of Compression":
+		return c.CompressTime
+	case "Time of Decompression":
+		return c.DecompressTime
+	case "Global Time":
+		return c.GlobalTime
+	}
+	return 0
+}

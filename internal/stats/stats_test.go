@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if m := Mean([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestStd(t *testing.T) {
+	if Std([]float64{5}) != 0 {
+		t.Fatal("single-value std")
+	}
+	// Population std of {2,4,4,4,5,5,7,9} is 2.
+	if s := Std([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("std = %v", s)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("minmax = %v %v", min, max)
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Fatal("empty minmax")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {-5, 1}, {150, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("P%v = %v want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	// Input must not be mutated (sorted copy).
+	in := []float64{3, 1, 2}
+	Percentile(in, 50)
+	if in[0] != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "methods",
+		Columns: []string{"method", "ratio"},
+	}
+	tbl.AddRow("huffman", "0.48")
+	tbl.AddRow("burrows-wheeler", "0.20")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"methods", "method", "huffman", "burrows-wheeler", "0.20"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Columns align: the ratio header sits at the same offset as values.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	hdrIdx := strings.Index(lines[1], "ratio")
+	if hdrIdx < 0 {
+		t.Fatal("no header line")
+	}
+	if idx := strings.Index(lines[4], "0.20"); idx != hdrIdx {
+		t.Fatalf("misaligned: %d vs %d\n%s", idx, hdrIdx, out)
+	}
+}

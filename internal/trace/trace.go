@@ -1,0 +1,221 @@
+// Package trace models the MBone session-membership load traces the paper
+// uses to vary network load artificially (§4.2, ref [36]). A trace is a
+// step function from elapsed time to the number of connected MBone end
+// users; the paper multiplies the raw connection counts by 4 and uses the
+// product as background traffic on its 100 MBit/s link.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ccx/internal/netsim"
+)
+
+// Sample is one trace point: the connection count from time T until the
+// next sample.
+type Sample struct {
+	T           time.Duration
+	Connections int
+}
+
+// Trace is a time-ordered series of samples.
+type Trace struct {
+	samples []Sample
+}
+
+// New builds a trace from samples, sorting them by time.
+func New(samples []Sample) *Trace {
+	s := make([]Sample, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i].T < s[j].T })
+	return &Trace{samples: s}
+}
+
+// Samples returns a copy of the trace points.
+func (tr *Trace) Samples() []Sample {
+	out := make([]Sample, len(tr.samples))
+	copy(out, tr.samples)
+	return out
+}
+
+// Duration returns the time of the last sample.
+func (tr *Trace) Duration() time.Duration {
+	if len(tr.samples) == 0 {
+		return 0
+	}
+	return tr.samples[len(tr.samples)-1].T
+}
+
+// At returns the connection count in effect at elapsed time t (step
+// interpolation; before the first sample it is the first sample's value).
+func (tr *Trace) At(t time.Duration) int {
+	if len(tr.samples) == 0 {
+		return 0
+	}
+	idx := sort.Search(len(tr.samples), func(i int) bool {
+		return tr.samples[i].T > t
+	})
+	if idx == 0 {
+		return tr.samples[0].Connections
+	}
+	return tr.samples[idx-1].Connections
+}
+
+// Max returns the largest connection count in the trace.
+func (tr *Trace) Max() int {
+	m := 0
+	for _, s := range tr.samples {
+		if s.Connections > m {
+			m = s.Connections
+		}
+	}
+	return m
+}
+
+// MBoneSynthetic generates a 160-second trace with the shape of the paper's
+// Figure 7: a quiet start, a ramp with bursts peaking near 20 connections
+// mid-experiment, and a decay back to a handful of sessions. Deterministic
+// for a given seed.
+func MBoneSynthetic(seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	// Control points mirror Figure 7's envelope.
+	anchors := []struct {
+		t time.Duration
+		c float64
+	}{
+		{0, 1}, {10 * time.Second, 3}, {25 * time.Second, 6},
+		{40 * time.Second, 11}, {55 * time.Second, 16}, {70 * time.Second, 19},
+		{85 * time.Second, 17}, {100 * time.Second, 12}, {115 * time.Second, 14},
+		{130 * time.Second, 8}, {145 * time.Second, 5}, {160 * time.Second, 3},
+	}
+	var samples []Sample
+	for step := time.Duration(0); step <= 160*time.Second; step += 2 * time.Second {
+		// Linear interpolation across anchors plus membership churn noise.
+		var base float64
+		for i := 1; i < len(anchors); i++ {
+			if step <= anchors[i].t {
+				a, b := anchors[i-1], anchors[i]
+				frac := float64(step-a.t) / float64(b.t-a.t)
+				base = a.c + (b.c-a.c)*frac
+				break
+			}
+		}
+		n := int(base + rng.NormFloat64()*1.2 + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		if n > 20 {
+			n = 20
+		}
+		samples = append(samples, Sample{T: step, Connections: n})
+	}
+	return New(samples)
+}
+
+// Parse reads a whitespace-separated "seconds connections" trace, one
+// sample per line; '#' starts a comment. This accepts the common textual
+// form of published MBone membership traces.
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	var samples []Sample
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want 2 fields, got %d", line, len(fields))
+		}
+		secs, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time: %v", line, err)
+		}
+		conns, err := strconv.Atoi(fields[1])
+		if err != nil || conns < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad connection count", line)
+		}
+		samples = append(samples, Sample{
+			T:           time.Duration(secs * float64(time.Second)),
+			Connections: conns,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("trace: no samples")
+	}
+	return New(samples), nil
+}
+
+// Format writes the trace in the textual form Parse reads.
+func (tr *Trace) Format(w io.Writer) error {
+	for _, s := range tr.samples {
+		if _, err := fmt.Fprintf(w, "%.3f %d\n", s.T.Seconds(), s.Connections); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadConfig maps connection counts to link load, as in §4.2.
+type LoadConfig struct {
+	// Multiplier scales raw connection counts (the paper uses 4 to adapt
+	// the trace to 100 MBit/s capacity).
+	Multiplier float64
+	// PerConnBps is the background bandwidth one scaled connection
+	// consumes, in bytes per second.
+	PerConnBps float64
+	// Start anchors trace time zero onto the clock.
+	Start time.Time
+	// Loop replays the trace from the beginning once it ends; otherwise the
+	// final sample's load holds for the remainder of the run.
+	Loop bool
+}
+
+// DefaultLoadConfig reproduces the paper's §4.2 setup for a given link:
+// raw counts ×4, with per-connection bandwidth chosen so the trace's peak
+// (20 connections × 4) consumes 95 % of the link.
+func DefaultLoadConfig(link netsim.Profile, start time.Time) LoadConfig {
+	return LoadConfig{
+		Multiplier: 4,
+		PerConnBps: link.RateBps * 0.95 / (20 * 4),
+		Start:      start,
+	}
+}
+
+// LoadFunc converts the trace into a netsim background-load function.
+func (tr *Trace) LoadFunc(cfg LoadConfig, link netsim.Profile) netsim.LoadFunc {
+	return func(now time.Time) float64 {
+		t := now.Sub(cfg.Start)
+		if t < 0 {
+			t = 0
+		}
+		if d := tr.Duration(); d > 0 && t > d {
+			if cfg.Loop {
+				t = t % d
+			} else {
+				t = d
+			}
+		}
+		conns := float64(tr.At(t)) * cfg.Multiplier
+		frac := conns * cfg.PerConnBps / link.RateBps
+		if frac > 0.99 {
+			frac = 0.99
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		return frac
+	}
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ccx/internal/netsim"
+)
+
+func TestNewSortsSamples(t *testing.T) {
+	tr := New([]Sample{
+		{T: 10 * time.Second, Connections: 5},
+		{T: 0, Connections: 1},
+		{T: 5 * time.Second, Connections: 3},
+	})
+	s := tr.Samples()
+	if s[0].T != 0 || s[1].T != 5*time.Second || s[2].T != 10*time.Second {
+		t.Fatalf("not sorted: %+v", s)
+	}
+}
+
+func TestAtStepInterpolation(t *testing.T) {
+	tr := New([]Sample{
+		{T: 0, Connections: 2},
+		{T: 10 * time.Second, Connections: 8},
+	})
+	cases := []struct {
+		t    time.Duration
+		want int
+	}{
+		{0, 2}, {5 * time.Second, 2}, {10 * time.Second, 8}, {60 * time.Second, 8},
+	}
+	for _, c := range cases {
+		if got := tr.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %d want %d", c.t, got, c.want)
+		}
+	}
+	empty := New(nil)
+	if empty.At(time.Second) != 0 {
+		t.Fatal("empty trace should report 0")
+	}
+}
+
+func TestMBoneSyntheticShape(t *testing.T) {
+	tr := MBoneSynthetic(1)
+	if tr.Duration() != 160*time.Second {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+	if m := tr.Max(); m < 15 || m > 20 {
+		t.Fatalf("peak = %d, want within Figure 7's 15..20", m)
+	}
+	// The paper's trace peaks in the middle of the run.
+	early := tr.At(5 * time.Second)
+	mid := tr.At(70 * time.Second)
+	late := tr.At(155 * time.Second)
+	if mid <= early || mid <= late {
+		t.Fatalf("no mid-run peak: early=%d mid=%d late=%d", early, mid, late)
+	}
+	// Deterministic per seed.
+	a, b := MBoneSynthetic(7).Samples(), MBoneSynthetic(7).Samples()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical traces")
+		}
+	}
+}
+
+func TestParseAndFormat(t *testing.T) {
+	in := `# MBone membership trace
+0 3
+2.5 5
+
+5.0 8
+`
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples()) != 3 {
+		t.Fatalf("got %d samples", len(tr.Samples()))
+	}
+	if tr.At(3*time.Second) != 5 {
+		t.Fatalf("At(3s) = %d", tr.At(3*time.Second))
+	}
+	var sb strings.Builder
+	if err := tr.Format(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.At(3*time.Second) != 5 || back.Duration() != tr.Duration() {
+		t.Fatal("format/parse roundtrip mismatch")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"", "1 2 3\n", "abc 2\n", "1 -4\n", "1 x\n",
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLoadFunc(t *testing.T) {
+	tr := New([]Sample{
+		{T: 0, Connections: 0},
+		{T: 10 * time.Second, Connections: 10},
+		{T: 20 * time.Second, Connections: 20},
+	})
+	start := time.Unix(0, 0)
+	cfg := DefaultLoadConfig(netsim.Fast100, start)
+	fn := tr.LoadFunc(cfg, netsim.Fast100)
+
+	if l := fn(start); l != 0 {
+		t.Fatalf("load at t=0 should be 0, got %v", l)
+	}
+	half := fn(start.Add(15 * time.Second))
+	peak := fn(start.Add(20 * time.Second))
+	if peak <= half || half <= 0 {
+		t.Fatalf("load not increasing: half=%v peak=%v", half, peak)
+	}
+	// Peak (20 conns ×4) should approach but not exceed the 0.99 clamp.
+	if peak < 0.90 || peak > 0.99 {
+		t.Fatalf("peak load = %v, want ≈0.95", peak)
+	}
+	// Before the start the load is the t=0 value.
+	if l := fn(start.Add(-5 * time.Second)); l != 0 {
+		t.Fatalf("pre-start load = %v", l)
+	}
+	// Past the end the final load holds.
+	if l := fn(start.Add(25 * time.Second)); l != peak {
+		t.Fatalf("post-trace load = %v, want held peak %v", l, peak)
+	}
+	// With Loop set, time wraps to the beginning instead.
+	loopCfg := cfg
+	loopCfg.Loop = true
+	loopFn := tr.LoadFunc(loopCfg, netsim.Fast100)
+	if l := loopFn(start.Add(25 * time.Second)); l != fn(start.Add(5*time.Second)) {
+		t.Fatalf("looped load = %v", l)
+	}
+}
+
+func TestLoadFuncWithNetsimLink(t *testing.T) {
+	// Integration: a loaded link is slower mid-trace than at the start.
+	clk := netsim.NewVirtual()
+	link := netsim.NewLink(netsim.Profile{Name: "flat", RateBps: 1e6}, clk, 3)
+	tr := New([]Sample{
+		{T: 0, Connections: 0},
+		{T: 10 * time.Second, Connections: 20},
+	})
+	cfg := DefaultLoadConfig(link.Profile(), clk.Now())
+	link.SetLoad(tr.LoadFunc(cfg, link.Profile()))
+	early := link.TransferTime(100000)
+	clk.Advance(12 * time.Second)
+	late := link.TransferTime(100000)
+	if late < early*5 {
+		t.Fatalf("peak load should slow transfers: early=%v late=%v", early, late)
+	}
+}
