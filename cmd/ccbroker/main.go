@@ -1,0 +1,139 @@
+// Command ccbroker runs the fan-out broker daemon: one TCP endpoint where a
+// publisher streams codec frames into a named event channel and any number
+// of subscribers attach to receive them, each behind its own adaptation
+// loop. A subscriber on a fast link gets raw or lightly-compressed frames; a
+// subscriber on a congested link drifts toward heavier compression — the
+// paper's per-path configurable compression, multiplied across consumers.
+//
+// A minimal three-terminal session:
+//
+//	ccbroker -listen :9981 -channels md,audit -policy evict    # broker
+//	ccsend -addr host:9981 -channel md -in ticks.dat           # publisher
+//	ccrecv -addr host:9981 -channel md -out ticks.copy         # subscriber
+//
+// Slow subscribers are handled per -policy: "drop" discards their oldest
+// queued events (each drop is counted), "evict" disconnects them so they
+// can reconnect and resynchronise. -stats dumps a metrics snapshot (bytes
+// in/out, per-method histograms, queue depths, drops, evictions) to stderr
+// at a fixed interval.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ccx/internal/broker"
+	"ccx/internal/metrics"
+	"ccx/internal/selector"
+)
+
+func main() {
+	if err := run(os.Args[1:], make(chan struct{})); err != nil {
+		fmt.Fprintln(os.Stderr, "ccbroker:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the broker and blocks until stop closes or SIGINT/SIGTERM,
+// then shuts down gracefully, draining subscriber queues.
+func run(args []string, stop chan struct{}) error {
+	fs := flag.NewFlagSet("ccbroker", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", ":9981", "accept publishers and subscribers on this TCP address")
+		channels = fs.String("channels", "events", "comma-separated channel names to serve")
+		queueLen = fs.Int("queue", broker.DefaultQueueLen, "bounded outbound queue per subscriber, in events")
+		policy   = fs.String("policy", "drop", "slow-subscriber policy: drop (oldest) | evict")
+		block    = fs.Int("block", 64<<10, "block size hint for per-subscriber compression engines")
+		hb       = fs.Duration("hb", broker.DefaultHeartbeat, "idle-link heartbeat interval (negative disables)")
+		rto      = fs.Duration("rtimeout", 0, "per-read idle deadline on connections (0 = none)")
+		wto      = fs.Duration("wtimeout", 0, "per-write deadline on subscriber links (0 = none)")
+		speed    = fs.Float64("speedscale", 0, "divide measured reducing speeds by this factor (0 = off)")
+		stats    = fs.Duration("stats", 0, "dump a metrics snapshot to stderr at this interval (0 disables)")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var names []string
+	for _, n := range strings.Split(*channels, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("need at least one channel name in -channels")
+	}
+	pol, err := broker.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+
+	cfg := broker.Config{
+		Channels:     names,
+		QueueLen:     *queueLen,
+		Policy:       pol,
+		Heartbeat:    *hb,
+		ReadTimeout:  *rto,
+		WriteTimeout: *wto,
+		Metrics:      metrics.NewRegistry(),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ccbroker: "+format+"\n", args...)
+		},
+	}
+	cfg.Engine.Selector = selector.DefaultConfig()
+	cfg.Engine.Selector.BlockSize = *block
+	cfg.Engine.SpeedScale = *speed
+	b, err := broker.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ccbroker: serving %s on %s (policy=%s queue=%d)\n",
+		strings.Join(names, ","), ln.Addr(), pol, *queueLen)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- b.Serve(ln) }()
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *stats > 0 {
+		ticker = time.NewTicker(*stats)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	for {
+		select {
+		case <-tick:
+			b.Metrics().WriteJSON(os.Stderr)
+			fmt.Fprintln(os.Stderr)
+			continue
+		case <-stop:
+		case <-sig:
+		case err := <-serveDone:
+			return err
+		}
+		break
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

@@ -1,9 +1,13 @@
-// Command ccrecv receives an adaptive compressed stream from ccsend and
-// writes the reconstructed bytes to a file or stdout.
+// Command ccrecv receives an adaptive compressed stream and writes the
+// reconstructed bytes to a file or stdout. It either listens for one ccsend
+// connection (the default) or — with -addr and -channel — dials a ccbroker
+// and subscribes to an event channel.
 //
 // Usage:
 //
 //	ccrecv -listen :9900 -out copy.dat
+//
+//	ccrecv -addr host:9981 -channel md -out copy.dat   # broker subscriber
 package main
 
 import (
@@ -12,9 +16,12 @@ import (
 	"io"
 	"net"
 	"os"
+	"time"
 
+	"ccx/internal/broker"
 	"ccx/internal/codec"
 	"ccx/internal/core"
+	"ccx/internal/netutil"
 )
 
 func main() {
@@ -28,11 +35,17 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ccrecv", flag.ContinueOnError)
 	var (
 		listen  = fs.String("listen", "127.0.0.1:9900", "listen address")
+		addr    = fs.String("addr", "", "dial a ccbroker at this address instead of listening")
+		channel = fs.String("channel", "", "broker channel to subscribe to (requires -addr)")
 		out     = fs.String("out", "", "output file (default stdout)")
+		timeout = fs.Duration("timeout", 0, "dial timeout and per-operation I/O deadline (0 = none)")
 		verbose = fs.Bool("v", false, "log every received block")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*addr == "") != (*channel == "") {
+		return fmt.Errorf("-addr and -channel go together")
 	}
 	var dst io.Writer = os.Stdout
 	if *out != "" {
@@ -43,21 +56,62 @@ func run(args []string) error {
 		defer f.Close()
 		dst = f
 	}
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		return err
+
+	var conn net.Conn
+	if *addr != "" {
+		var err error
+		if *timeout > 0 {
+			conn, err = net.DialTimeout("tcp", *addr, *timeout)
+		} else {
+			conn, err = net.Dial("tcp", *addr)
+		}
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if err := broker.HandshakeSubscribe(netutil.WithTimeout(conn, *timeout), *channel); err != nil {
+			return fmt.Errorf("subscribe to %q: %w", *channel, err)
+		}
+		fmt.Fprintf(os.Stderr, "subscribed to %q on %s\n", *channel, *addr)
+		// Ping so a broker enforcing read deadlines keeps us attached even
+		// when the channel is quiet; any bytes count, we send empty frames.
+		pingDone := make(chan struct{})
+		defer close(pingDone)
+		go func() {
+			ping, _, err := codec.AppendFrame(nil, nil, codec.None, nil)
+			if err != nil {
+				return
+			}
+			ticker := time.NewTicker(2 * time.Second)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-pingDone:
+					return
+				case <-ticker.C:
+					if _, err := conn.Write(ping); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	} else {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
+		conn, err = ln.Accept()
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
 	}
-	defer ln.Close()
-	fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
-	conn, err := ln.Accept()
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
 
 	var blocks, wire, orig int64
 	methods := make(map[codec.Method]int64)
-	r := core.NewReader(conn, nil, func(info codec.BlockInfo) {
+	r := core.NewReader(netutil.WithTimeout(conn, *timeout), nil, func(info codec.BlockInfo) {
 		blocks++
 		wire += int64(info.CompLen)
 		orig += int64(info.OrigLen)

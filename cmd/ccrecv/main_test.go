@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"ccx/internal/broker"
 	"ccx/internal/core"
 	"ccx/internal/datagen"
 	"ccx/internal/selector"
@@ -73,5 +75,95 @@ func TestRecvBadListenAddr(t *testing.T) {
 func TestRecvBadOutputPath(t *testing.T) {
 	if err := run([]string{"-listen", "127.0.0.1:0", "-out", "/no/such/dir/file"}); err == nil {
 		t.Fatal("bad output path accepted")
+	}
+}
+
+func TestRecvAddrWithoutChannel(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:1"}); err == nil {
+		t.Fatal("-addr without -channel accepted")
+	}
+}
+
+// TestRecvIdleTimeout: with -timeout set, a peer that connects and then
+// goes silent must trip the read deadline instead of hanging forever.
+func TestRecvIdleTimeout(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:39218", "-timeout", "300ms", "-out", filepath.Join(t.TempDir(), "x")})
+	}()
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err = net.Dial("tcp", "127.0.0.1:39218")
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("silent peer did not trip the read deadline")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run hung despite -timeout")
+	}
+}
+
+// TestRecvSubscribeRoundtrip drives the broker-subscriber mode end to end.
+func TestRecvSubscribeRoundtrip(t *testing.T) {
+	data := datagen.OISTransactions(120<<10, 0.9, 13)
+	out := filepath.Join(t.TempDir(), "copy.dat")
+
+	b, err := broker.New(broker.Config{Channels: []string{"md"}, Heartbeat: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b.Serve(ln)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", ln.Addr().String(), "-channel", "md", "-out", out})
+	}()
+	// The subscriber must be attached before publishing.
+	waitFor := time.Now().Add(5 * time.Second)
+	for b.Subscribers() == 0 {
+		if time.Now().After(waitFor) {
+			t.Fatal("subscriber never attached")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for off := 0; off < len(data); off += 16 << 10 {
+		end := off + 16<<10
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := b.Publish("md", data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("subscriber run: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("subscribe roundtrip mismatch: %d vs %d bytes", len(got), len(data))
 	}
 }

@@ -1,11 +1,15 @@
-// Command ccsend streams a file (or stdin) to a ccrecv peer over TCP with
-// configurable compression: each block's method is chosen by the §2.5
-// selection algorithm from live send-timing and data sampling.
+// Command ccsend streams a file (or stdin) over TCP with configurable
+// compression: each block's method is chosen by the §2.5 selection
+// algorithm from live send-timing and data sampling. It speaks to a ccrecv
+// peer directly, or — with -channel — publishes into a ccbroker event
+// channel for fan-out to many subscribers.
 //
 // Usage:
 //
 //	ccrecv -listen :9900 -out copy.dat      # on the receiver
 //	ccsend -addr host:9900 big.dat          # on the sender
+//
+//	ccsend -addr host:9981 -channel md big.dat   # into a broker channel
 package main
 
 import (
@@ -14,8 +18,12 @@ import (
 	"io"
 	"net"
 	"os"
+	"time"
 
+	"ccx/internal/broker"
+	"ccx/internal/codec"
 	"ccx/internal/core"
+	"ccx/internal/netutil"
 	"ccx/internal/selector"
 )
 
@@ -29,12 +37,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ccsend", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:9900", "receiver address")
+		addr      = fs.String("addr", "127.0.0.1:9900", "receiver or broker address")
+		channel   = fs.String("channel", "", "publish into this ccbroker channel instead of a raw ccrecv peer")
 		blockSize = fs.Int("block", selector.DefaultBlockSize, "block size in bytes")
+		timeout   = fs.Duration("timeout", 0, "dial timeout and per-operation I/O deadline (0 = none)")
 		verbose   = fs.Bool("v", false, "log every block's decision")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *blockSize > codec.MaxFrameLen {
+		return fmt.Errorf("block size %d exceeds the frame format's limit %d", *blockSize, codec.MaxFrameLen)
 	}
 	var in io.Reader = os.Stdin
 	name := "stdin"
@@ -54,16 +67,22 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	conn, err := net.Dial("tcp", *addr)
+	conn, err := dial(*addr, *timeout)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+	wire := netutil.WithTimeout(conn, *timeout)
+	if *channel != "" {
+		if err := broker.HandshakePublish(wire, *channel); err != nil {
+			return fmt.Errorf("publish to %q: %w", *channel, err)
+		}
+	}
 
-	var blocks, wire, orig int64
-	w := core.NewWriter(conn, engine, func(r core.BlockResult) {
+	var blocks, wireBytes, orig int64
+	w := core.NewWriter(wire, engine, func(r core.BlockResult) {
 		blocks++
-		wire += int64(r.WireBytes)
+		wireBytes += int64(r.WireBytes)
 		orig += int64(r.Info.OrigLen)
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "block %d: %-15s %7d -> %7d bytes  send %v  goodput %.2f MB/s\n",
@@ -79,7 +98,14 @@ func run(args []string) error {
 	}
 	if orig > 0 {
 		fmt.Fprintf(os.Stderr, "sent %s: %d blocks, %d bytes original, %d on the wire (%.1f%%)\n",
-			name, blocks, orig, wire, float64(wire)/float64(orig)*100)
+			name, blocks, orig, wireBytes, float64(wireBytes)/float64(orig)*100)
 	}
 	return nil
+}
+
+func dial(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout > 0 {
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+	return net.Dial("tcp", addr)
 }

@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
+	"ccx/internal/broker"
 	"ccx/internal/core"
 	"ccx/internal/datagen"
 )
@@ -59,5 +62,81 @@ func TestSendConnectionRefused(t *testing.T) {
 	// Port 1 is essentially guaranteed closed.
 	if err := run([]string{"-addr", "127.0.0.1:1", src}); err == nil {
 		t.Fatal("dead address accepted")
+	}
+}
+
+func TestSendBlockTooLarge(t *testing.T) {
+	if err := run([]string{"-block", "33554433", "-addr", "127.0.0.1:1"}); err == nil {
+		t.Fatal("block size beyond the frame limit accepted")
+	}
+}
+
+// TestSendPublishToBroker drives the -channel publish mode against an
+// in-process broker and checks a subscriber sees the exact bytes.
+func TestSendPublishToBroker(t *testing.T) {
+	data := datagen.OISTransactions(96<<10, 0.9, 11)
+	src := filepath.Join(t.TempDir(), "src.dat")
+	if err := os.WriteFile(src, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := broker.New(broker.Config{Channels: []string{"md"}, Heartbeat: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b.Serve(ln)
+
+	sub, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := broker.HandshakeSubscribe(sub, "md"); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan []byte, 1)
+	go func() {
+		r := core.NewReader(sub, nil, nil)
+		out, _ := io.ReadAll(r)
+		got <- out
+	}()
+
+	if err := run([]string{"-addr", ln.Addr().String(), "-channel", "md", "-timeout", "5s", "-block", "16384", src}); err != nil {
+		t.Fatalf("publish run: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(<-got, data) {
+		t.Fatal("publish fan-out mismatch")
+	}
+}
+
+func TestSendPublishRefusedChannel(t *testing.T) {
+	b, err := broker.New(broker.Config{Channels: []string{"md"}, Heartbeat: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		b.Shutdown(ctx)
+	}()
+
+	src := filepath.Join(t.TempDir(), "src.dat")
+	os.WriteFile(src, []byte("x"), 0o644)
+	if err := run([]string{"-addr", ln.Addr().String(), "-channel", "other", src}); err == nil {
+		t.Fatal("publish to unserved channel accepted")
 	}
 }

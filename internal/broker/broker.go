@@ -1,0 +1,677 @@
+// Package broker fans one event stream out to many heterogeneous
+// subscribers, compressing independently for each of them.
+//
+// The paper configures compression per *path*: at the same instant a
+// fast-LAN receiver wants raw blocks while a congested-WAN receiver wants
+// Burrows-Wheeler. The repo's point-to-point tools (ccsend/ccrecv, one
+// echo.Bridge per pair) cannot express that. This broker can: publishers
+// submit events to named channels (internal/echo domains carry the
+// channel namespace), and every subscriber connection gets its own
+// core.Engine — its own goodput EWMA, sampling probes, and method
+// selection — so a slow link independently drifts toward heavier
+// compression while a fast link stays at None/Huffman.
+//
+// Production behaviour under misbehaving peers:
+//
+//   - each subscriber has a bounded outbound queue with a configurable
+//     slow-subscriber policy (drop-oldest or evict);
+//   - reads and writes carry rolling idle deadlines, with zero-length
+//     frames as heartbeats in both directions;
+//   - Shutdown drains queued events to every live subscriber before
+//     closing connections;
+//   - per-connection goroutines are panic-isolated, so one poisoned codec
+//     or handler cannot take the daemon down.
+//
+// Everything observable feeds an internal/metrics registry: per-subscriber
+// bytes in/out, compression-ratio EWMA, method histogram, queue depth, and
+// global eviction/drop/panic counters.
+package broker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ccx/internal/codec"
+	"ccx/internal/core"
+	"ccx/internal/echo"
+	"ccx/internal/metrics"
+	"ccx/internal/netutil"
+)
+
+// Policy says what to do when a subscriber's outbound queue overflows.
+type Policy int
+
+const (
+	// DropOldest discards the oldest queued event to make room — late
+	// joiners and stragglers see gaps but stay connected (live telemetry).
+	DropOldest Policy = iota
+	// Evict disconnects the subscriber instead — consumers that must not
+	// observe gaps are better served by reconnecting (bulk transfer).
+	Evict
+)
+
+// String renders the policy's flag spelling.
+func (p Policy) String() string {
+	switch p {
+	case DropOldest:
+		return "drop"
+	case Evict:
+		return "evict"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy reads a policy flag value ("drop" or "evict").
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "drop":
+		return DropOldest, nil
+	case "evict":
+		return Evict, nil
+	}
+	return 0, fmt.Errorf("broker: unknown policy %q (want drop or evict)", s)
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultQueueLen         = 64
+	DefaultHeartbeat        = 10 * time.Second
+	DefaultHandshakeTimeout = 10 * time.Second
+)
+
+// ErrClosed reports an operation on a shut-down broker.
+var ErrClosed = errors.New("broker: closed")
+
+// Config assembles a Broker.
+type Config struct {
+	// Channels restricts which channel names peers may attach to; empty
+	// means any name is served.
+	Channels []string
+	// QueueLen bounds each subscriber's outbound event queue
+	// (DefaultQueueLen if 0).
+	QueueLen int
+	// Policy picks the slow-subscriber behaviour on queue overflow.
+	Policy Policy
+	// Engine is the per-subscriber adaptation template: every subscriber
+	// gets its own core.Engine built from this config (so SpeedScale,
+	// selector thresholds, and block size apply per path). The Registry is
+	// shared across subscribers; nil means the built-in codec set.
+	Engine core.Config
+	// HandshakeTimeout bounds the initial handshake exchange
+	// (DefaultHandshakeTimeout if 0).
+	HandshakeTimeout time.Duration
+	// ReadTimeout is the rolling idle deadline on peer reads; a subscriber
+	// or publisher silent for longer is considered dead and evicted.
+	// 0 disables (peers may be silent forever).
+	ReadTimeout time.Duration
+	// WriteTimeout is the rolling per-write deadline toward subscribers; a
+	// write stalled longer evicts the subscriber. 0 disables.
+	WriteTimeout time.Duration
+	// Heartbeat is the keepalive interval toward idle subscribers
+	// (DefaultHeartbeat if 0, negative disables).
+	Heartbeat time.Duration
+	// Metrics receives instrumentation (nil = a private registry,
+	// retrievable via Broker.Metrics).
+	Metrics *metrics.Registry
+	// Logf logs connection lifecycle events (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Broker accepts publisher and subscriber connections and fans events out.
+type Broker struct {
+	cfg    Config
+	domain *echo.Domain
+	reg    *codec.Registry
+	met    *metrics.Registry
+	logf   func(string, ...any)
+
+	mu     sync.Mutex
+	closed bool
+	nextID int
+	subs   map[int]*subscriber
+	pubs   map[net.Conn]struct{}
+	lns    map[net.Listener]struct{}
+
+	pubWG  sync.WaitGroup // publisher frame loops
+	connWG sync.WaitGroup // every connection goroutine
+}
+
+// New validates cfg and returns a Broker ready to Serve or HandleConn.
+func New(cfg Config) (*Broker, error) {
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = DefaultQueueLen
+	}
+	if cfg.QueueLen < 1 {
+		return nil, fmt.Errorf("broker: queue length %d", cfg.QueueLen)
+	}
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if bs := cfg.Engine.Selector.BlockSize; bs > codec.MaxFrameLen {
+		return nil, fmt.Errorf("broker: block size %d exceeds codec.MaxFrameLen %d",
+			bs, codec.MaxFrameLen)
+	}
+	for _, name := range cfg.Channels {
+		if name == "" || len(name) > MaxChannelName {
+			return nil, fmt.Errorf("broker: invalid channel name %q", name)
+		}
+	}
+	if cfg.Engine.Registry == nil {
+		cfg.Engine.Registry = codec.NewRegistry()
+	}
+	// Build one engine up front so a bad template fails at New, not at the
+	// first subscriber.
+	if _, err := core.NewEngine(cfg.Engine); err != nil {
+		return nil, fmt.Errorf("broker: engine template: %w", err)
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = metrics.NewRegistry()
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Broker{
+		cfg:    cfg,
+		domain: echo.NewDomain(),
+		reg:    cfg.Engine.Registry,
+		met:    met,
+		logf:   logf,
+		subs:   make(map[int]*subscriber),
+		pubs:   make(map[net.Conn]struct{}),
+		lns:    make(map[net.Listener]struct{}),
+	}, nil
+}
+
+// Domain exposes the broker's channel namespace for in-process publishers
+// and derived channels.
+func (b *Broker) Domain() *echo.Domain { return b.domain }
+
+// Metrics returns the instrumentation registry the broker feeds.
+func (b *Broker) Metrics() *metrics.Registry { return b.met }
+
+// Subscribers reports the number of live subscriber connections.
+func (b *Broker) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Publish submits one event to the named channel from inside the process.
+// data is copied, so callers may reuse their buffer.
+func (b *Broker) Publish(channel string, data []byte) error {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := b.channelAllowed(channel); err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	if len(data) > codec.MaxFrameLen {
+		return fmt.Errorf("broker: event size %d exceeds codec.MaxFrameLen %d",
+			len(data), codec.MaxFrameLen)
+	}
+	owned := make([]byte, len(data))
+	copy(owned, data)
+	b.met.Counter("broker.events_in").Inc()
+	b.met.Counter("broker.bytes_in").Add(int64(len(owned)))
+	return b.domain.OpenChannel(channel).Submit(echo.Event{Data: owned})
+}
+
+// Serve accepts connections on ln until the broker shuts down. It returns
+// nil after Shutdown, or the accept error otherwise.
+func (b *Broker) Serve(ln net.Listener) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	b.lns[ln] = struct{}{}
+	b.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			b.mu.Lock()
+			closed := b.closed
+			delete(b.lns, ln)
+			b.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		b.HandleConn(conn)
+	}
+}
+
+// HandleConn adopts an established connection (any net.Conn — TCP, pipes,
+// netsim-shaped links) and runs its session asynchronously: handshake,
+// then the publisher frame loop or the subscriber fan-out loop.
+func (b *Broker) HandleConn(conn net.Conn) {
+	b.connWG.Add(1)
+	go b.handle(conn)
+}
+
+func (b *Broker) handle(conn net.Conn) {
+	defer b.connWG.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			b.met.Counter("broker.panics").Inc()
+			b.logf("broker: connection panic: %v", r)
+			conn.Close()
+		}
+	}()
+
+	_ = conn.SetDeadline(time.Now().Add(b.cfg.HandshakeTimeout))
+	role, channel, err := readHandshake(conn)
+	if err != nil {
+		// The peer is not speaking our protocol (and on a synchronous
+		// transport may still be mid-write), so reply nothing: just hang up.
+		conn.Close()
+		b.logf("broker: %v", err)
+		return
+	}
+	if err := b.channelAllowed(channel); err != nil {
+		_ = writeReply(conn, err)
+		conn.Close()
+		b.logf("broker: refused %c on %q: %v", role, channel, err)
+		return
+	}
+
+	switch role {
+	case RolePublish:
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			_ = writeReply(conn, ErrClosed)
+			conn.Close()
+			return
+		}
+		b.pubs[conn] = struct{}{}
+		b.pubWG.Add(1)
+		b.mu.Unlock()
+		// finishPublisher must run even if the frame loop panics — Shutdown
+		// waits on the publisher group.
+		defer b.finishPublisher(conn)
+		if err := writeReply(conn, nil); err != nil {
+			return
+		}
+		_ = conn.SetDeadline(time.Time{})
+		b.logf("broker: publisher attached to %q", channel)
+		b.handlePublisher(conn, channel)
+
+	case RoleSubscribe:
+		s, err := b.addSubscriber(conn, channel)
+		if err != nil {
+			_ = writeReply(conn, err)
+			conn.Close()
+			return
+		}
+		if err := writeReply(conn, nil); err != nil {
+			b.removeSub(s, false, "handshake reply failed")
+			return
+		}
+		_ = conn.SetDeadline(time.Time{})
+		b.logf("broker: subscriber %d attached to %q", s.id, channel)
+		b.connWG.Add(1)
+		go s.readDrain(b)
+		s.run(b)
+	}
+}
+
+func (b *Broker) finishPublisher(conn net.Conn) {
+	conn.Close()
+	b.mu.Lock()
+	delete(b.pubs, conn)
+	b.mu.Unlock()
+	b.pubWG.Done()
+}
+
+func (b *Broker) channelAllowed(name string) error {
+	if name == "" || len(name) > MaxChannelName {
+		return fmt.Errorf("broker: invalid channel name %q", name)
+	}
+	if len(b.cfg.Channels) == 0 {
+		return nil
+	}
+	for _, allowed := range b.cfg.Channels {
+		if name == allowed {
+			return nil
+		}
+	}
+	return fmt.Errorf("broker: channel %q not served", name)
+}
+
+// handlePublisher decodes the publisher's frame stream and fans every
+// event into the channel. FrameReader returns freshly allocated payloads,
+// so events can be shared across subscriber queues without copying.
+func (b *Broker) handlePublisher(conn net.Conn, channel string) {
+	ch := b.domain.OpenChannel(channel)
+	rc := netutil.WithTimeouts(conn, b.cfg.ReadTimeout, 0)
+	fr := codec.NewFrameReader(rc, b.reg)
+	events := b.met.Counter("broker.events_in")
+	bytesIn := b.met.Counter("broker.bytes_in")
+	for {
+		data, _, err := fr.ReadBlock()
+		if err != nil {
+			if err != io.EOF {
+				b.logf("broker: publisher on %q: %v", channel, err)
+			}
+			return
+		}
+		if len(data) == 0 {
+			continue // keepalive
+		}
+		events.Inc()
+		bytesIn.Add(int64(len(data)))
+		_ = ch.Submit(echo.Event{Data: data})
+	}
+}
+
+// subscriber is one consumer connection with a private adaptation loop.
+type subscriber struct {
+	id      int
+	channel string
+	conn    net.Conn // raw; Close unblocks both loops
+	wc      net.Conn // write side with rolling deadline
+	engine  *core.Engine
+	echoSub *echo.Subscription
+
+	queue chan []byte
+	drain chan struct{} // closed by Shutdown: flush queue, then hang up
+	quit  chan struct{} // closed on evict/teardown: exit immediately
+	once  sync.Once
+
+	enc []byte // frame scratch buffer
+
+	bytesIn  *metrics.Counter
+	bytesOut *metrics.Counter
+	drops    *metrics.Counter
+	depth    *metrics.Gauge
+	ratio    *metrics.EWMA
+}
+
+func (b *Broker) addSubscriber(conn net.Conn, channel string) (*subscriber, error) {
+	engine, err := core.NewEngine(b.cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("broker: subscriber engine: %w", err)
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.nextID++
+	id := b.nextID
+	s := &subscriber{
+		id:      id,
+		channel: channel,
+		conn:    conn,
+		wc:      netutil.WithTimeouts(conn, 0, b.cfg.WriteTimeout),
+		engine:  engine,
+		queue:   make(chan []byte, b.cfg.QueueLen),
+		drain:   make(chan struct{}),
+		quit:    make(chan struct{}),
+
+		bytesIn:  b.met.Counter(fmt.Sprintf("sub.%d.bytes_in", id)),
+		bytesOut: b.met.Counter(fmt.Sprintf("sub.%d.bytes_out", id)),
+		drops:    b.met.Counter(fmt.Sprintf("sub.%d.drops", id)),
+		depth:    b.met.Gauge(fmt.Sprintf("sub.%d.queue_depth", id)),
+		ratio:    b.met.EWMA(fmt.Sprintf("sub.%d.ratio", id), 0),
+	}
+	b.subs[id] = s
+	b.mu.Unlock()
+	b.met.Gauge("broker.subscribers").Add(1)
+	s.echoSub = b.domain.OpenChannel(channel).Subscribe(func(ev echo.Event) {
+		s.enqueue(b, ev.Data)
+	})
+	return s, nil
+}
+
+// enqueue runs in the publisher's goroutine (echo delivery is synchronous)
+// and must never block: a full queue triggers the slow-subscriber policy.
+func (s *subscriber) enqueue(b *Broker, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	select {
+	case s.queue <- data:
+		s.depth.Set(int64(len(s.queue)))
+		return
+	default:
+	}
+	switch b.cfg.Policy {
+	case DropOldest:
+		select {
+		case <-s.queue:
+			s.drops.Inc()
+			b.met.Counter("broker.drops").Inc()
+		default:
+		}
+		select {
+		case s.queue <- data:
+		default:
+			// Lost the race to another producer; the new event is the drop.
+			s.drops.Inc()
+			b.met.Counter("broker.drops").Inc()
+		}
+		s.depth.Set(int64(len(s.queue)))
+	case Evict:
+		b.removeSub(s, true, "outbound queue overflow")
+	}
+}
+
+// run is the subscriber's write loop: dequeue, adapt, frame, send.
+func (s *subscriber) run(b *Broker) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.met.Counter("broker.panics").Inc()
+			b.logf("broker: subscriber %d panic: %v", s.id, r)
+		}
+		b.removeSub(s, false, "write loop exit")
+	}()
+	var hb <-chan time.Time
+	if b.cfg.Heartbeat > 0 {
+		t := time.NewTicker(b.cfg.Heartbeat)
+		defer t.Stop()
+		hb = t.C
+	}
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.drain:
+			// Graceful shutdown: flush whatever is queued, then hang up.
+			for {
+				select {
+				case data := <-s.queue:
+					if !s.send(b, data) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		case data := <-s.queue:
+			s.depth.Set(int64(len(s.queue)))
+			if !s.send(b, data) {
+				return
+			}
+		case <-hb:
+			if !s.send(b, nil) {
+				return
+			}
+		}
+	}
+}
+
+// send frames one event (nil = heartbeat) with this subscriber's engine and
+// writes it. It reports false on write failure — the caller tears down.
+func (s *subscriber) send(b *Broker, data []byte) bool {
+	var (
+		frame []byte
+		info  codec.BlockInfo
+		err   error
+	)
+	if len(data) == 0 {
+		frame, _, err = codec.AppendFrame(s.enc[:0], b.reg, codec.None, nil)
+	} else {
+		dec := s.engine.Decide(data)
+		frame, info, err = codec.AppendFrame(s.enc[:0], b.reg, dec.Method, data)
+	}
+	if err != nil {
+		b.logf("broker: subscriber %d encode: %v", s.id, err)
+		return false
+	}
+	s.enc = frame[:0]
+	start := time.Now()
+	if _, err := s.wc.Write(frame); err != nil {
+		b.logf("broker: subscriber %d write: %v", s.id, err)
+		b.removeSub(s, true, "write failed or timed out")
+		return false
+	}
+	if len(data) == 0 {
+		return true
+	}
+	// End-to-end feedback: the write stalls under receiver backpressure,
+	// which is exactly the acceptance-rate signal the selector wants.
+	s.engine.Monitor().Observe(len(frame), time.Since(start))
+	s.bytesIn.Add(int64(len(data)))
+	s.bytesOut.Add(int64(len(frame)))
+	s.ratio.Observe(info.Ratio())
+	b.met.Counter(fmt.Sprintf("sub.%d.method.%s", s.id, info.Method)).Inc()
+	return true
+}
+
+// readDrain consumes and discards anything the subscriber writes (pings),
+// detecting dead or silent peers via the read timeout.
+func (s *subscriber) readDrain(b *Broker) {
+	defer b.connWG.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			b.met.Counter("broker.panics").Inc()
+			b.logf("broker: subscriber %d read panic: %v", s.id, r)
+		}
+	}()
+	rc := netutil.WithTimeouts(s.conn, b.cfg.ReadTimeout, 0)
+	buf := make([]byte, 256)
+	for {
+		if _, err := rc.Read(buf); err != nil {
+			evicted := false
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				evicted = true // silent past the read deadline: presumed dead
+			}
+			b.removeSub(s, evicted, fmt.Sprintf("peer read: %v", err))
+			return
+		}
+	}
+}
+
+// removeSub tears a subscriber down exactly once: detach from the channel,
+// stop the write loop, close the connection, update accounting.
+func (b *Broker) removeSub(s *subscriber, evicted bool, reason string) {
+	s.once.Do(func() {
+		if s.echoSub != nil {
+			s.echoSub.Cancel()
+		}
+		close(s.quit)
+		s.conn.Close()
+		b.mu.Lock()
+		delete(b.subs, s.id)
+		b.mu.Unlock()
+		b.met.Gauge("broker.subscribers").Add(-1)
+		if evicted {
+			b.met.Counter("broker.evictions").Inc()
+		}
+		b.logf("broker: subscriber %d detached (%s)", s.id, reason)
+	})
+}
+
+// Shutdown stops the broker gracefully: listeners close, publishers finish
+// their in-flight streams, subscriber queues drain, then connections close.
+// The context bounds the wait; on expiry remaining connections are severed
+// and ctx.Err() is returned.
+func (b *Broker) Shutdown(ctx context.Context) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	lns := make([]net.Listener, 0, len(b.lns))
+	for ln := range b.lns {
+		lns = append(lns, ln)
+	}
+	b.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+
+	// Let publishers finish naturally so every submitted event reaches the
+	// queues; past the deadline, sever them.
+	if !waitCtx(ctx, &b.pubWG) {
+		b.mu.Lock()
+		for conn := range b.pubs {
+			conn.Close()
+		}
+		b.mu.Unlock()
+	}
+
+	// Ask every subscriber's write loop to flush its queue and hang up.
+	b.mu.Lock()
+	subs := make([]*subscriber, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.echoSub.Cancel()
+		close(s.drain)
+	}
+
+	if waitCtx(ctx, &b.connWG) {
+		return nil
+	}
+	// Deadline passed: sever whatever is still blocked (e.g. a stalled
+	// subscriber with no write timeout) and report the truncation.
+	b.mu.Lock()
+	for _, s := range b.subs {
+		s.conn.Close()
+	}
+	for conn := range b.pubs {
+		conn.Close()
+	}
+	b.mu.Unlock()
+	return ctx.Err()
+}
+
+// waitCtx waits for wg until ctx is done; it reports whether the group
+// finished in time.
+func waitCtx(ctx context.Context, wg *sync.WaitGroup) bool {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

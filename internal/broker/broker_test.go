@@ -1,0 +1,456 @@
+package broker
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ccx/internal/codec"
+)
+
+// newTestBroker builds a broker with test-friendly defaults; mutate cfg via
+// the callback.
+func newTestBroker(t *testing.T, mod func(*Config)) *Broker {
+	t.Helper()
+	cfg := Config{
+		Heartbeat: -1, // keep streams deterministic unless a test wants it
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = b.Shutdown(ctx)
+	})
+	return b
+}
+
+// attachSubscriber connects a pipe subscriber and completes the handshake.
+func attachSubscriber(t *testing.T, b *Broker, channel string) net.Conn {
+	t.Helper()
+	client, server := net.Pipe()
+	b.HandleConn(server)
+	if err := HandshakeSubscribe(client, channel); err != nil {
+		t.Fatalf("subscribe handshake: %v", err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+// readAllEvents drains event frames from conn until EOF/close, skipping
+// heartbeats.
+func readAllEvents(conn net.Conn) [][]byte {
+	fr := codec.NewFrameReader(conn, nil)
+	var events [][]byte
+	for {
+		data, _, err := fr.ReadBlock()
+		if err != nil {
+			return events
+		}
+		if len(data) == 0 {
+			continue
+		}
+		events = append(events, data)
+	}
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestHandshakeRefusesUnknownChannel(t *testing.T) {
+	b := newTestBroker(t, func(c *Config) { c.Channels = []string{"md"} })
+	client, server := net.Pipe()
+	defer client.Close()
+	b.HandleConn(server)
+	err := HandshakeSubscribe(client, "secrets")
+	if err == nil {
+		t.Fatal("handshake on unserved channel must be refused")
+	}
+}
+
+func TestHandshakeRejectsGarbage(t *testing.T) {
+	b := newTestBroker(t, nil)
+	client, server := net.Pipe()
+	defer client.Close()
+	b.HandleConn(server)
+	// The write may itself fail once the broker hangs up mid-message — both
+	// outcomes are fine; what matters is that the broker disconnects.
+	_, _ = client.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	// The broker must refuse and hang up, not wedge.
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := client.Read(buf); err != nil {
+			return // closed: good
+		}
+	}
+}
+
+func TestFanOutDeliversToAllSubscribers(t *testing.T) {
+	b := newTestBroker(t, nil)
+	subs := []net.Conn{
+		attachSubscriber(t, b, "md"),
+		attachSubscriber(t, b, "md"),
+	}
+	results := make([][][]byte, len(subs))
+	var wg sync.WaitGroup
+	for i, conn := range subs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = readAllEvents(conn)
+		}()
+	}
+	var want [][]byte
+	for i := 0; i < 5; i++ {
+		ev := bytes.Repeat([]byte{byte('a' + i)}, 100+i)
+		want = append(want, ev)
+		if err := b.Publish("md", ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if len(got) != len(want) {
+			t.Fatalf("subscriber %d: %d events, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if !bytes.Equal(got[j], want[j]) {
+				t.Fatalf("subscriber %d event %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestPublishViaNetworkPublisher(t *testing.T) {
+	b := newTestBroker(t, nil)
+	subConn := attachSubscriber(t, b, "md")
+	received := make(chan [][]byte, 1)
+	go func() { received <- readAllEvents(subConn) }()
+
+	pubClient, pubServer := net.Pipe()
+	b.HandleConn(pubServer)
+	if err := HandshakePublish(pubClient, "md"); err != nil {
+		t.Fatalf("publish handshake: %v", err)
+	}
+	want := [][]byte{[]byte("first event"), bytes.Repeat([]byte("xyz"), 500)}
+	for _, ev := range want {
+		frame, _, err := codec.AppendFrame(nil, nil, codec.LempelZiv, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pubClient.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A keepalive frame must not become an event.
+	hb, _, err := codec.AppendFrame(nil, nil, codec.None, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pubClient.Write(hb); err != nil {
+		t.Fatal(err)
+	}
+	pubClient.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	got := <-received
+	if len(got) != len(want) {
+		t.Fatalf("%d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	if n := b.Metrics().Counter("broker.events_in").Value(); n != int64(len(want)) {
+		t.Fatalf("events_in = %d, want %d", n, len(want))
+	}
+}
+
+func TestDropOldestPolicyCountsDrops(t *testing.T) {
+	b := newTestBroker(t, func(c *Config) {
+		c.QueueLen = 4
+		c.Policy = DropOldest
+	})
+	conn := attachSubscriber(t, b, "md")
+	// The subscriber stalls: nothing reads conn, so the broker's write loop
+	// blocks on the first event and the queue backs up.
+	const published = 20
+	for i := 0; i < published; i++ {
+		if err := b.Publish("md", []byte(fmt.Sprintf("event-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "drops to register", func() bool {
+		return b.Metrics().Counter("broker.drops").Value() > 0
+	})
+	// Resume reading: the straggler stays connected and gets the newest
+	// events rather than being cut off.
+	received := make(chan [][]byte, 1)
+	go func() { received <- readAllEvents(conn) }()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	got := <-received
+	drops := b.Metrics().Counter("broker.drops").Value()
+	if drops == 0 {
+		t.Fatal("expected drops under a stalled subscriber")
+	}
+	if int64(len(got))+drops != published {
+		t.Fatalf("received %d + dropped %d != published %d", len(got), drops, published)
+	}
+	if b.Metrics().Counter("broker.evictions").Value() != 0 {
+		t.Fatal("drop-oldest must not evict")
+	}
+	// The last published event must have survived (gaps eat the oldest).
+	if last := got[len(got)-1]; !bytes.Equal(last, []byte("event-19")) {
+		t.Fatalf("last event = %q, want event-19", last)
+	}
+}
+
+func TestEvictPolicyCutsSlowSubscriberOnly(t *testing.T) {
+	b := newTestBroker(t, func(c *Config) {
+		c.QueueLen = 8
+		c.Policy = Evict
+	})
+	stalled := attachSubscriber(t, b, "md")
+	healthy := attachSubscriber(t, b, "md")
+	received := make(chan [][]byte, 1)
+	go func() { received <- readAllEvents(healthy) }()
+
+	const published = 40
+	for i := 0; i < published; i++ {
+		if err := b.Publish("md", bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond) // healthy keeps up; stalled backs up
+	}
+	waitUntil(t, "stalled subscriber eviction", func() bool {
+		return b.Metrics().Counter("broker.evictions").Value() == 1
+	})
+	if n := b.Subscribers(); n != 1 {
+		t.Fatalf("%d subscribers after eviction, want 1", n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := <-received; len(got) != published {
+		t.Fatalf("healthy subscriber got %d events, want all %d", len(got), published)
+	}
+	// The evicted peer observes a closed connection.
+	stalled.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4096)
+	for {
+		if _, err := stalled.Read(buf); err != nil {
+			break
+		}
+	}
+}
+
+func TestHeartbeatKeepsIdleSubscriberWarm(t *testing.T) {
+	b := newTestBroker(t, func(c *Config) { c.Heartbeat = 25 * time.Millisecond })
+	conn := attachSubscriber(t, b, "md")
+	fr := codec.NewFrameReader(conn, nil)
+	beats := 0
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for beats < 2 {
+		data, info, err := fr.ReadBlock()
+		if err != nil {
+			t.Fatalf("after %d heartbeats: %v", beats, err)
+		}
+		if len(data) != 0 || info.OrigLen != 0 {
+			t.Fatalf("idle channel delivered a non-empty frame: %+v", info)
+		}
+		beats++
+	}
+}
+
+func TestReadTimeoutEvictsSilentPeer(t *testing.T) {
+	b := newTestBroker(t, func(c *Config) { c.ReadTimeout = 60 * time.Millisecond })
+	conn := attachSubscriber(t, b, "md")
+	// The client never pings; the broker must declare it dead.
+	waitUntil(t, "silent peer eviction", func() bool {
+		return b.Metrics().Counter("broker.evictions").Value() == 1
+	})
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break // connection was closed on us: correct
+		}
+	}
+}
+
+func TestPingsKeepSilentReaderAlive(t *testing.T) {
+	b := newTestBroker(t, func(c *Config) { c.ReadTimeout = 80 * time.Millisecond })
+	conn := attachSubscriber(t, b, "md")
+	stop := time.Now().Add(400 * time.Millisecond)
+	for time.Now().Before(stop) {
+		if _, err := conn.Write([]byte{0}); err != nil {
+			t.Fatalf("ping: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := b.Subscribers(); n != 1 {
+		t.Fatalf("pinging subscriber was dropped (subscribers=%d)", n)
+	}
+	if ev := b.Metrics().Counter("broker.evictions").Value(); ev != 0 {
+		t.Fatalf("evictions = %d, want 0", ev)
+	}
+}
+
+func TestShutdownDrainsQueuedEvents(t *testing.T) {
+	b := newTestBroker(t, nil)
+	conn := attachSubscriber(t, b, "md")
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		ev := bytes.Repeat([]byte{byte('0' + i)}, 200)
+		want = append(want, ev)
+		if err := b.Publish("md", ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Shutdown races the subscriber's slow reads: every queued event must
+	// still arrive before the connection closes.
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- b.Shutdown(ctx)
+	}()
+	fr := codec.NewFrameReader(conn, nil)
+	var got [][]byte
+	for {
+		data, _, err := fr.ReadBlock()
+		if err != nil {
+			break
+		}
+		if len(data) == 0 {
+			continue
+		}
+		time.Sleep(5 * time.Millisecond) // deliberately slow consumer
+		got = append(got, data)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("event %d differs after drain", i)
+		}
+	}
+}
+
+// panicCodec "compresses" by truncation and panics on decompression — a
+// poisoned codec for exercising panic isolation.
+type panicCodec struct{}
+
+func (panicCodec) Method() codec.Method { return codec.FirstCustom }
+func (panicCodec) Compress(src []byte) ([]byte, error) {
+	out := make([]byte, len(src)/2)
+	copy(out, src)
+	return out, nil
+}
+func (panicCodec) Decompress(src []byte, origLen int) ([]byte, error) {
+	panic("poisoned codec")
+}
+
+func TestPanicInConnectionIsIsolated(t *testing.T) {
+	reg := codec.NewRegistry()
+	reg.Register(panicCodec{})
+	b := newTestBroker(t, func(c *Config) { c.Engine.Registry = reg })
+
+	pubClient, pubServer := net.Pipe()
+	defer pubClient.Close()
+	b.HandleConn(pubServer)
+	if err := HandshakePublish(pubClient, "md"); err != nil {
+		t.Fatal(err)
+	}
+	frame, _, err := codec.AppendFrame(nil, reg, codec.FirstCustom, bytes.Repeat([]byte("x"), 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pubClient.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "panic counter", func() bool {
+		return b.Metrics().Counter("broker.panics").Value() == 1
+	})
+	// The broker survives: new sessions still work end to end.
+	conn := attachSubscriber(t, b, "md")
+	got := make(chan [][]byte, 1)
+	go func() { got <- readAllEvents(conn) }()
+	if err := b.Publish("md", []byte("still alive")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	events := <-got
+	if len(events) != 1 || string(events[0]) != "still alive" {
+		t.Fatalf("post-panic delivery = %q", events)
+	}
+}
+
+func TestNewRejectsOversizedBlock(t *testing.T) {
+	cfg := Config{}
+	cfg.Engine.Selector.BlockSize = codec.MaxFrameLen + 1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("block size above codec.MaxFrameLen must be rejected")
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	b := newTestBroker(t, func(c *Config) { c.Channels = []string{"md"} })
+	if err := b.Publish("other", []byte("x")); err == nil {
+		t.Fatal("publish to unserved channel must fail")
+	}
+	if err := b.Publish("md", make([]byte, codec.MaxFrameLen+1)); err == nil {
+		t.Fatal("oversized event must fail")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("md", []byte("x")); err != ErrClosed {
+		t.Fatalf("publish after shutdown = %v, want ErrClosed", err)
+	}
+}

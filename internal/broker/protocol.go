@@ -1,0 +1,177 @@
+package broker
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Wire protocol.
+//
+// A client opens a TCP connection and sends one handshake:
+//
+//	magic "CCB" + version(1)
+//	role(1)              'P' = publish, 'S' = subscribe
+//	channelLen(uvarint) channelName
+//
+// The broker answers with a single status byte: 0 accepts the session, any
+// other value is followed by uvarint-length error text and a close.
+//
+// After acceptance the connection speaks the internal/codec frame format,
+// one logical event per frame:
+//
+//   - publishers send frames to the broker (compressed however the
+//     publisher's own engine decided; the broker decodes to recover the
+//     original event bytes before fan-out);
+//   - subscribers receive frames from the broker, each compressed by that
+//     subscriber's private adaptation loop.
+//
+// Zero-length frames are keepalives in both directions and never carry
+// data. Subscribers may additionally write arbitrary bytes at any time;
+// the broker discards them but counts them as liveness (pings) against its
+// read timeout.
+const (
+	// ProtocolVersion is the handshake version byte.
+	ProtocolVersion = 1
+	// RolePublish and RoleSubscribe are the handshake role bytes.
+	RolePublish   = 'P'
+	RoleSubscribe = 'S'
+	// MaxChannelName bounds the handshake channel-name length.
+	MaxChannelName = 255
+
+	statusOK     = 0
+	statusRefuse = 1
+)
+
+var handshakeMagic = [3]byte{'C', 'C', 'B'}
+
+// Handshake errors.
+var (
+	ErrBadHandshake = errors.New("broker: bad handshake")
+	// ErrRefused reports that the broker rejected the session; the reason
+	// from the wire is attached to the returned error text.
+	ErrRefused = errors.New("broker: session refused")
+)
+
+// HandshakePublish performs the client half of a publisher handshake on
+// conn. On return the caller owns a frame stream to the broker: every
+// internal/codec frame written becomes one event on the named channel.
+func HandshakePublish(conn net.Conn, channel string) error {
+	return clientHandshake(conn, RolePublish, channel)
+}
+
+// HandshakeSubscribe performs the client half of a subscriber handshake on
+// conn. On return the broker streams internal/codec frames, one event per
+// frame; zero-length frames are heartbeats to be skipped.
+func HandshakeSubscribe(conn net.Conn, channel string) error {
+	return clientHandshake(conn, RoleSubscribe, channel)
+}
+
+func clientHandshake(conn net.Conn, role byte, channel string) error {
+	if channel == "" || len(channel) > MaxChannelName {
+		return fmt.Errorf("%w: channel name length %d out of [1,%d]",
+			ErrBadHandshake, len(channel), MaxChannelName)
+	}
+	msg := make([]byte, 0, 5+len(channel))
+	msg = append(msg, handshakeMagic[:]...)
+	msg = append(msg, ProtocolVersion, role)
+	msg = binary.AppendUvarint(msg, uint64(len(channel)))
+	msg = append(msg, channel...)
+	if _, err := conn.Write(msg); err != nil {
+		return fmt.Errorf("broker: handshake write: %w", err)
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		return fmt.Errorf("broker: handshake reply: %w", err)
+	}
+	if status[0] == statusOK {
+		return nil
+	}
+	reason, err := readShortString(conn)
+	if err != nil {
+		return ErrRefused
+	}
+	return fmt.Errorf("%w: %s", ErrRefused, reason)
+}
+
+// readHandshake parses the server half. It reads byte-at-a-time so no
+// stream data past the handshake is consumed.
+func readHandshake(r io.Reader) (role byte, channel string, err error) {
+	var fixed [5]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return 0, "", fmt.Errorf("%w: %v", ErrBadHandshake, err)
+	}
+	if fixed[0] != handshakeMagic[0] || fixed[1] != handshakeMagic[1] || fixed[2] != handshakeMagic[2] {
+		return 0, "", fmt.Errorf("%w: bad magic", ErrBadHandshake)
+	}
+	if fixed[3] != ProtocolVersion {
+		return 0, "", fmt.Errorf("%w: unsupported version %d", ErrBadHandshake, fixed[3])
+	}
+	role = fixed[4]
+	if role != RolePublish && role != RoleSubscribe {
+		return 0, "", fmt.Errorf("%w: unknown role %q", ErrBadHandshake, role)
+	}
+	channel, err = readShortString(r)
+	if err != nil {
+		return 0, "", fmt.Errorf("%w: channel name: %v", ErrBadHandshake, err)
+	}
+	if channel == "" {
+		return 0, "", fmt.Errorf("%w: empty channel name", ErrBadHandshake)
+	}
+	return role, channel, nil
+}
+
+// writeReply sends the broker's accept/refuse status. A nil reason accepts.
+func writeReply(w io.Writer, reason error) error {
+	if reason == nil {
+		_, err := w.Write([]byte{statusOK})
+		return err
+	}
+	text := reason.Error()
+	if len(text) > MaxChannelName {
+		text = text[:MaxChannelName]
+	}
+	msg := make([]byte, 0, 2+len(text))
+	msg = append(msg, statusRefuse)
+	msg = binary.AppendUvarint(msg, uint64(len(text)))
+	msg = append(msg, text...)
+	_, err := w.Write(msg)
+	return err
+}
+
+// readShortString reads a uvarint-length-prefixed string bounded by
+// MaxChannelName, one byte at a time (the stream that follows must not be
+// consumed).
+func readShortString(r io.Reader) (string, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > MaxChannelName {
+		return "", fmt.Errorf("string length %d over limit %d", n, MaxChannelName)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// readUvarint decodes a uvarint with single-byte reads (no buffering).
+func readUvarint(r io.Reader) (uint64, error) {
+	var one [1]byte
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if _, err := io.ReadFull(r, one[:]); err != nil {
+			return 0, err
+		}
+		b := one[0]
+		v |= uint64(b&0x7F) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("uvarint overflow")
+}

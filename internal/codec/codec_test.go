@@ -2,6 +2,7 @@ package codec
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"math/rand"
 	"testing"
@@ -247,17 +248,39 @@ func TestFrameCorruption(t *testing.T) {
 }
 
 func TestFrameSizeLimit(t *testing.T) {
-	// A hostile header with a huge origLen must be rejected before
-	// allocation.
-	var buf bytes.Buffer
-	buf.Write([]byte{magic0, magic1, FrameVersion, byte(None), 0})
-	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}) // origLen ≈ 2^34
-	buf.Write([]byte{0x00})
-	buf.Write(make([]byte, 4))
-	_, _, err := NewFrameReader(&buf, nil).ReadBlock()
-	if err != ErrFrameSize {
-		t.Fatalf("got %v want ErrFrameSize", err)
+	// hostileHeader builds a frame header claiming the given lengths; the
+	// CRC and payload are deliberately absent because the size check must
+	// reject the frame before reading (or allocating) anything after the
+	// two uvarints.
+	hostileHeader := func(origLen, compLen uint64) []byte {
+		buf := []byte{magic0, magic1, FrameVersion, byte(None), 0}
+		buf = binary.AppendUvarint(buf, origLen)
+		return binary.AppendUvarint(buf, compLen)
 	}
+	cases := []struct {
+		name             string
+		origLen, compLen uint64
+	}{
+		{"origLen over limit", MaxFrameLen + 1, 0},
+		{"compLen over limit", 0, MaxFrameLen + 1},
+		{"both absurd", 1 << 34, 1 << 34},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := NewFrameReader(bytes.NewReader(hostileHeader(tc.origLen, tc.compLen)), nil).ReadBlock()
+			if err != ErrFrameSize {
+				t.Fatalf("got %v want ErrFrameSize", err)
+			}
+		})
+	}
+	t.Run("limit itself is allowed", func(t *testing.T) {
+		// Exactly MaxFrameLen passes the bound; with no CRC bytes behind
+		// it the reader then reports truncation, not ErrFrameSize.
+		_, _, err := NewFrameReader(bytes.NewReader(hostileHeader(MaxFrameLen, 0)), nil).ReadBlock()
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("got %v want io.ErrUnexpectedEOF", err)
+		}
+	})
 }
 
 func TestBlockInfoRatio(t *testing.T) {

@@ -20,9 +20,12 @@ const (
 	magic1 = 0x40
 	// FrameVersion is the current wire version.
 	FrameVersion = 1
-	// maxFrameLen bounds a single frame's original length (16 MiB), keeping
-	// hostile headers from driving huge allocations.
-	maxFrameLen = 16 << 20
+	// MaxFrameLen bounds a single frame's original and compressed payload
+	// lengths (16 MiB), keeping hostile headers from driving huge
+	// allocations. It is exported so transports (the fan-out broker, the
+	// TCP tools) can validate configured block and event sizes against the
+	// wire format's hard limit before streaming.
+	MaxFrameLen = 16 << 20
 )
 
 // Frame flags.
@@ -197,7 +200,7 @@ func (fr *FrameReader) ReadBlock() ([]byte, BlockInfo, error) {
 	if err != nil {
 		return nil, info, unexpectedEOF(err)
 	}
-	if origLen > maxFrameLen || compLen > maxFrameLen {
+	if origLen > MaxFrameLen || compLen > MaxFrameLen {
 		return nil, info, ErrFrameSize
 	}
 	info.OrigLen, info.CompLen = int(origLen), int(compLen)

@@ -115,6 +115,17 @@ func (b *Bridge) Close() error {
 		return nil
 	}
 	b.closed = true
+	b.mu.Unlock()
+	b.teardown()
+	return b.conn.Close()
+}
+
+// teardown cancels every export subscription and attribute watch. It runs
+// from Close and when the read loop exits on its own (abrupt peer hangup),
+// so a dead peer's subscriptions stop receiving — and serialising — events
+// instead of leaking in the channel's delivery path forever.
+func (b *Bridge) teardown() {
+	b.mu.Lock()
 	subs := b.exports
 	b.exports = make(map[string]*Subscription)
 	watches := b.watches
@@ -126,7 +137,6 @@ func (b *Bridge) Close() error {
 	for _, w := range watches {
 		w.Cancel()
 	}
-	return b.conn.Close()
 }
 
 // watchChannel forwards local attribute updates for ch to the peer — the
@@ -178,6 +188,7 @@ func appendString(dst []byte, s string) []byte {
 
 func (b *Bridge) readLoop() {
 	defer close(b.done)
+	defer b.teardown()
 	r := bufio.NewReader(b.conn)
 	for {
 		if err := b.readMessage(r); err != nil {

@@ -2,6 +2,7 @@ package echo
 
 import (
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -245,4 +246,61 @@ func TestBridgeOverTCP(t *testing.T) {
 	if len(got.at(0).Data) != len(payload) {
 		t.Fatalf("payload size = %d", len(got.at(0).Data))
 	}
+}
+
+// TestBridgeAbruptPeerHangup kills the transport underneath a bridge —
+// no Close, no unsubscribe protocol — and verifies the exporting side
+// tears down its subscriptions and goroutines instead of leaking them
+// into the channel's delivery path.
+func TestBridgeAbruptPeerHangup(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	c1, c2 := net.Pipe()
+	d1, d2 := NewDomain(), NewDomain()
+	b1 := NewBridge(d1, c1) // exporter
+	b2 := NewBridge(d2, c2) // importer, about to die
+	defer b1.Close()
+
+	ch2, err := b2.ImportChannel("feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got collector
+	ch2.Subscribe(got.add)
+	ch1 := d1.OpenChannel("feed")
+	waitFor(t, "export subscription", func() bool { return ch1.Subscribers() == 1 })
+
+	// One event flows while the peer is healthy.
+	if err := ch1.Submit(Event{Data: []byte("mid-stream")}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "event delivery", func() bool { return got.len() == 1 })
+
+	// The peer vanishes mid-conversation: the raw conn closes with no
+	// protocol goodbye.
+	c2.Close()
+	select {
+	case <-b1.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("exporter read loop never noticed the hangup")
+	}
+	if err := b1.Err(); err != nil {
+		t.Fatalf("abrupt hangup should read as clean EOF, got %v", err)
+	}
+
+	// The dead peer's subscription must be gone from the channel...
+	waitFor(t, "subscription teardown", func() bool { return ch1.Subscribers() == 0 })
+	// ...so further submits touch nobody.
+	if err := ch1.Submit(Event{Data: []byte("after hangup")}); err != nil {
+		t.Fatal(err)
+	}
+	if got.len() != 1 {
+		t.Fatalf("dead subscriber still received events: %d", got.len())
+	}
+
+	// And both bridges' goroutines exited (b2's loop died with its conn).
+	waitFor(t, "goroutine cleanup", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseline
+	})
 }

@@ -1,0 +1,201 @@
+// Package metrics is a small expvar-style instrumentation substrate:
+// named counters, gauges, and EWMAs collected in a Registry that can
+// snapshot itself into a flat name→value map or JSON. The fan-out broker
+// (internal/broker) feeds one registry with per-subscriber bytes in/out,
+// compression ratios, method histograms, queue depths, and evictions, and
+// cmd/ccbroker periodically dumps the snapshot for operators.
+//
+// All types are safe for concurrent use and allocation-free on the hot
+// paths (counters and gauges are single atomics).
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored: counters only
+// move forward).
+func (c *Counter) Add(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous integer level (queue depth, subscriber count).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultEWMAAlpha weights the newest observation when no alpha is given.
+const DefaultEWMAAlpha = 0.3
+
+// EWMA is an exponentially weighted moving average of a float series
+// (compression ratio, goodput). The first observation seeds the average.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	val   float64
+	n     int64
+}
+
+// Observe folds x into the average.
+func (e *EWMA) Observe(x float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a := e.alpha
+	if a <= 0 || a > 1 {
+		a = DefaultEWMAAlpha
+	}
+	if e.n == 0 {
+		e.val = x
+	} else {
+		e.val = a*x + (1-a)*e.val
+	}
+	e.n++
+}
+
+// Value returns the smoothed value (0 before any observation).
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.val
+}
+
+// Observations reports how many samples have been folded in.
+func (e *EWMA) Observations() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// Registry owns a flat namespace of metrics. Lookups are get-or-create, so
+// instrumented code never checks registration state; the zero name is
+// valid. Use dotted names ("sub.3.bytes_out") to build hierarchies. Names
+// should be unique across kinds: a counter and a gauge under the same name
+// coexist but collide in Snapshot output.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	ewmas    map[string]*EWMA
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		ewmas:    make(map[string]*EWMA),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// EWMA returns the named moving average, creating it with the given alpha
+// on first use (alpha is fixed at creation; later calls ignore it).
+func (r *Registry) EWMA(name string, alpha float64) *EWMA {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.ewmas[name]
+	if !ok {
+		e = &EWMA{alpha: alpha}
+		r.ewmas[name] = e
+	}
+	return e
+}
+
+// Snapshot returns a point-in-time copy of every metric as name→value.
+// Counters and gauges appear as their integer values; EWMAs as their
+// smoothed float.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+len(r.ewmas))
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	ewmas := make(map[string]*EWMA, len(r.ewmas))
+	for k, v := range r.ewmas {
+		ewmas[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		out[k] = float64(v.Value())
+	}
+	for k, v := range gauges {
+		out[k] = float64(v.Value())
+	}
+	for k, v := range ewmas {
+		out[k] = v.Value()
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as a single JSON object with sorted keys
+// (encoding/json sorts map keys), counters and gauges as integers.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	flat := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.ewmas))
+	for k, v := range r.counters {
+		flat[k] = v.Value()
+	}
+	for k, v := range r.gauges {
+		flat[k] = v.Value()
+	}
+	for k, v := range r.ewmas {
+		flat[k] = v.Value()
+	}
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(flat)
+}

@@ -1,0 +1,56 @@
+// Package netutil holds small net.Conn helpers shared by the TCP tools and
+// the fan-out broker. Its main job is idle-timeout enforcement: the repo's
+// transports block forever on a dead peer without it, because raw TCP
+// reads/writes carry no deadline by default.
+package netutil
+
+import (
+	"net"
+	"time"
+)
+
+// deadlineConn arms a fresh deadline before every Read and Write, turning a
+// one-shot net.Conn deadline into a rolling idle timeout: any single
+// operation that stalls longer than the timeout fails with a timeout error
+// instead of hanging.
+type deadlineConn struct {
+	net.Conn
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+}
+
+// WithTimeout wraps conn so every Read and Write must complete within d.
+// A non-positive d returns conn unchanged.
+func WithTimeout(conn net.Conn, d time.Duration) net.Conn {
+	return WithTimeouts(conn, d, d)
+}
+
+// WithTimeouts wraps conn with independent read and write idle timeouts;
+// a non-positive value disables that side. If both are non-positive, conn
+// is returned unchanged.
+func WithTimeouts(conn net.Conn, read, write time.Duration) net.Conn {
+	if read <= 0 && write <= 0 {
+		return conn
+	}
+	return &deadlineConn{Conn: conn, readTimeout: read, writeTimeout: write}
+}
+
+// Read implements net.Conn with a rolling read deadline.
+func (c *deadlineConn) Read(p []byte) (int, error) {
+	if c.readTimeout > 0 {
+		if err := c.Conn.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn with a rolling write deadline.
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	if c.writeTimeout > 0 {
+		if err := c.Conn.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,72 @@
+package netutil
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestWithTimeoutZeroIsPassthrough(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if got := WithTimeout(a, 0); got != a {
+		t.Fatal("zero timeout must return the original conn")
+	}
+}
+
+func TestReadTimesOutOnSilentPeer(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := WithTimeout(a, 50*time.Millisecond)
+	buf := make([]byte, 1)
+	start := time.Now()
+	_, err := c.Read(buf)
+	if err == nil {
+		t.Fatal("read from silent peer should time out")
+	}
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("want net.Error timeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("timeout took %v, want ~50ms", elapsed)
+	}
+}
+
+func TestWriteTimesOutOnStalledPeer(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := WithTimeouts(a, 0, 50*time.Millisecond)
+	// net.Pipe writes block until the peer reads; b never reads.
+	_, err := c.Write(make([]byte, 1))
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("want net.Error timeout, got %v", err)
+	}
+}
+
+func TestDeadlineRollsForwardAcrossOperations(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := WithTimeout(a, 200*time.Millisecond)
+	go func() {
+		buf := make([]byte, 1)
+		for i := 0; i < 4; i++ {
+			time.Sleep(60 * time.Millisecond) // each gap is under the timeout
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	// Four writes, each slower than half the timeout: a one-shot deadline
+	// set at connection time would expire; a rolling one must not.
+	for i := 0; i < 4; i++ {
+		if _, err := c.Write([]byte{byte(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+}
