@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"ccx/internal/broker"
+	"ccx/internal/faultnet"
 	"ccx/internal/metrics"
 	"ccx/internal/selector"
 )
@@ -57,8 +58,13 @@ func run(args []string, stop chan struct{}) error {
 		speed    = fs.Float64("speedscale", 0, "divide measured reducing speeds by this factor (0 = off)")
 		stats    = fs.Duration("stats", 0, "dump a metrics snapshot to stderr at this interval (0 disables)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		fault    = fs.String("fault", "", `inject faults on every accepted connection for chaos testing, e.g. "flip=65536,seed=7" (see internal/faultnet)`)
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := faultnet.ParsePlan(*fault)
+	if err != nil {
 		return err
 	}
 
@@ -99,6 +105,10 @@ func run(args []string, stop chan struct{}) error {
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
+	}
+	if plan.Enabled() {
+		fmt.Fprintf(os.Stderr, "ccbroker: injecting faults on accepted connections: %s\n", plan)
+		ln = faultnet.WrapListener(ln, plan)
 	}
 	fmt.Fprintf(os.Stderr, "ccbroker: serving %s on %s (policy=%s queue=%d)\n",
 		strings.Join(names, ","), ln.Addr(), pol, *queueLen)

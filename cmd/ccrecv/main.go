@@ -8,9 +8,15 @@
 //	ccrecv -listen :9900 -out copy.dat
 //
 //	ccrecv -addr host:9981 -channel md -out copy.dat   # broker subscriber
+//
+// Against unreliable links, -resync skips frames that fail their checksum
+// and realigns on the next frame boundary instead of aborting, and
+// -reconnect N (broker mode) redials with capped exponential backoff after
+// transport errors.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,21 +37,33 @@ func main() {
 	}
 }
 
+// recvStats accumulates across connections so a reconnecting subscriber
+// reports one combined summary.
+type recvStats struct {
+	blocks, wire, orig, corrupt int64
+	methods                     map[codec.Method]int64
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("ccrecv", flag.ContinueOnError)
 	var (
-		listen  = fs.String("listen", "127.0.0.1:9900", "listen address")
-		addr    = fs.String("addr", "", "dial a ccbroker at this address instead of listening")
-		channel = fs.String("channel", "", "broker channel to subscribe to (requires -addr)")
-		out     = fs.String("out", "", "output file (default stdout)")
-		timeout = fs.Duration("timeout", 0, "dial timeout and per-operation I/O deadline (0 = none)")
-		verbose = fs.Bool("v", false, "log every received block")
+		listen    = fs.String("listen", "127.0.0.1:9900", "listen address")
+		addr      = fs.String("addr", "", "dial a ccbroker at this address instead of listening")
+		channel   = fs.String("channel", "", "broker channel to subscribe to (requires -addr)")
+		out       = fs.String("out", "", "output file (default stdout)")
+		timeout   = fs.Duration("timeout", 0, "dial timeout and per-operation I/O deadline (0 = none)")
+		resync    = fs.Bool("resync", false, "skip frames that fail their checksum and realign on the next frame boundary")
+		reconnect = fs.Int("reconnect", 0, "broker mode: redial up to N times after a transport error (0 = give up)")
+		verbose   = fs.Bool("v", false, "log every received block")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*addr == "") != (*channel == "") {
 		return fmt.Errorf("-addr and -channel go together")
+	}
+	if *reconnect > 0 && *addr == "" {
+		return fmt.Errorf("-reconnect only applies to broker mode (-addr/-channel)")
 	}
 	var dst io.Writer = os.Stdout
 	if *out != "" {
@@ -57,77 +75,132 @@ func run(args []string) error {
 		dst = f
 	}
 
-	var conn net.Conn
+	stats := &recvStats{methods: make(map[codec.Method]int64)}
+	var err error
 	if *addr != "" {
-		var err error
-		if *timeout > 0 {
-			conn, err = net.DialTimeout("tcp", *addr, *timeout)
-		} else {
-			conn, err = net.Dial("tcp", *addr)
-		}
-		if err != nil {
-			return err
-		}
-		defer conn.Close()
-		if err := broker.HandshakeSubscribe(netutil.WithTimeout(conn, *timeout), *channel); err != nil {
-			return fmt.Errorf("subscribe to %q: %w", *channel, err)
-		}
-		fmt.Fprintf(os.Stderr, "subscribed to %q on %s\n", *channel, *addr)
-		// Ping so a broker enforcing read deadlines keeps us attached even
-		// when the channel is quiet; any bytes count, we send empty frames.
-		pingDone := make(chan struct{})
-		defer close(pingDone)
-		go func() {
-			ping, _, err := codec.AppendFrame(nil, nil, codec.None, nil)
-			if err != nil {
-				return
-			}
-			ticker := time.NewTicker(2 * time.Second)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-pingDone:
-					return
-				case <-ticker.C:
-					if _, err := conn.Write(ping); err != nil {
-						return
-					}
-				}
-			}
-		}()
+		err = subscribeLoop(dst, stats, *addr, *channel, *timeout, *resync, *reconnect, *verbose)
 	} else {
-		ln, err := net.Listen("tcp", *listen)
-		if err != nil {
-			return err
-		}
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
-		conn, err = ln.Accept()
-		if err != nil {
-			return err
-		}
-		defer conn.Close()
+		err = listenOnce(dst, stats, *listen, *timeout, *resync, *verbose)
 	}
 
-	var blocks, wire, orig int64
-	methods := make(map[codec.Method]int64)
-	r := core.NewReader(netutil.WithTimeout(conn, *timeout), nil, func(info codec.BlockInfo) {
-		blocks++
-		wire += int64(info.CompLen)
-		orig += int64(info.OrigLen)
-		methods[info.Method]++
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "block %d: %-15s %7d -> %7d bytes\n",
-				blocks-1, info.Method, info.CompLen, info.OrigLen)
-		}
-	})
-	if _, err := io.Copy(dst, r); err != nil && err != io.EOF {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "received %d blocks, %d wire bytes -> %d bytes", blocks, wire, orig)
-	for m, n := range methods {
+	fmt.Fprintf(os.Stderr, "received %d blocks, %d wire bytes -> %d bytes",
+		stats.blocks, stats.wire, stats.orig)
+	for m, n := range stats.methods {
 		fmt.Fprintf(os.Stderr, "  %s=%d", m, n)
 	}
+	if stats.corrupt > 0 {
+		fmt.Fprintf(os.Stderr, "  (%d corrupt frames skipped)", stats.corrupt)
+	}
 	fmt.Fprintln(os.Stderr)
+	return err
+}
+
+// listenOnce accepts a single ccsend connection and drains it.
+func listenOnce(dst io.Writer, stats *recvStats, listen string, timeout time.Duration, resync, verbose bool) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
+	conn, err := ln.Accept()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return receive(conn, dst, stats, timeout, resync, verbose)
+}
+
+// subscribeLoop dials the broker and receives, redialing with capped
+// exponential backoff after transport errors until the retry budget is
+// spent. A connection that delivered at least one block resets the budget,
+// so a long-lived subscriber survives any number of isolated outages.
+func subscribeLoop(dst io.Writer, stats *recvStats, addr, channel string, timeout time.Duration, resync bool, reconnect int, verbose bool) error {
+	bo := netutil.Backoff{Min: netutil.DefaultBackoffMin, Max: 5 * time.Second}
+	retries := 0
+	for {
+		before := stats.blocks
+		err := subscribeOnce(dst, stats, addr, channel, timeout, resync, verbose)
+		if err == nil {
+			return nil // clean end of stream
+		}
+		if stats.blocks > before {
+			bo.Reset()
+			retries = 0
+		}
+		if retries >= reconnect {
+			return err
+		}
+		retries++
+		d := bo.Next()
+		fmt.Fprintf(os.Stderr, "ccrecv: %v; reconnecting in %v (%d/%d)\n", err, d, retries, reconnect)
+		time.Sleep(d)
+	}
+}
+
+func subscribeOnce(dst io.Writer, stats *recvStats, addr, channel string, timeout time.Duration, resync, verbose bool) error {
+	var conn net.Conn
+	var err error
+	if timeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, timeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := broker.HandshakeSubscribe(netutil.WithTimeout(conn, timeout), channel); err != nil {
+		return fmt.Errorf("subscribe to %q: %w", channel, err)
+	}
+	fmt.Fprintf(os.Stderr, "subscribed to %q on %s\n", channel, addr)
+	// Ping so a broker enforcing read deadlines keeps us attached even
+	// when the channel is quiet; any bytes count, we send empty frames.
+	pingDone := make(chan struct{})
+	defer close(pingDone)
+	go func() {
+		ping, _, err := codec.AppendFrame(nil, nil, codec.None, nil)
+		if err != nil {
+			return
+		}
+		ticker := time.NewTicker(2 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-pingDone:
+				return
+			case <-ticker.C:
+				if _, err := conn.Write(ping); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return receive(conn, dst, stats, timeout, resync, verbose)
+}
+
+// receive drains one connection into dst, optionally resynchronising past
+// corrupt frames instead of failing.
+func receive(conn net.Conn, dst io.Writer, stats *recvStats, timeout time.Duration, resync, verbose bool) error {
+	r := core.NewReader(netutil.WithTimeout(conn, timeout), nil, func(info codec.BlockInfo) {
+		stats.blocks++
+		stats.wire += int64(info.CompLen)
+		stats.orig += int64(info.OrigLen)
+		stats.methods[info.Method]++
+		if verbose {
+			fmt.Fprintf(os.Stderr, "block %d: %-15s %7d -> %7d bytes\n",
+				stats.blocks-1, info.Method, info.CompLen, info.OrigLen)
+		}
+	})
+	if resync {
+		r.SetCorruptHandler(func(err error) bool {
+			stats.corrupt++
+			fmt.Fprintf(os.Stderr, "ccrecv: corrupt frame (%v), resynchronising\n", err)
+			return true
+		})
+	}
+	if _, err := io.Copy(dst, r); err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
 	return nil
 }

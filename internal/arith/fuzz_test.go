@@ -1,0 +1,44 @@
+package arith
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzArithDecode feeds arbitrary bytes to both the order-0 and order-1
+// decoders. Arithmetic decoding happily "decodes" random bit streams into
+// random symbols — that is fine; what must never happen is a panic, a hang,
+// or output of a length other than the claimed one on success.
+func FuzzArithDecode(f *testing.F) {
+	seeds := [][]byte{
+		nil,
+		[]byte("e"),
+		[]byte("an arithmetic coder models symbol probabilities adaptively"),
+		bytes.Repeat([]byte("ratio "), 80),
+	}
+	for _, s := range seeds {
+		comp, err := Compress(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(comp, len(s))
+		comp1, err := CompressOrder1(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(comp1, len(s))
+	}
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef}, 32)
+
+	f.Fuzz(func(t *testing.T, data []byte, origLen int) {
+		if origLen < 0 || origLen > 1<<20 {
+			return
+		}
+		if out, err := Decompress(data, origLen); err == nil && len(out) != origLen {
+			t.Fatalf("order-0 decoded %d bytes, claimed %d", len(out), origLen)
+		}
+		if out, err := DecompressOrder1(data, origLen); err == nil && len(out) != origLen {
+			t.Fatalf("order-1 decoded %d bytes, claimed %d", len(out), origLen)
+		}
+	})
+}

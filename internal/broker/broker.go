@@ -360,15 +360,30 @@ func (b *Broker) channelAllowed(name string) error {
 // handlePublisher decodes the publisher's frame stream and fans every
 // event into the channel. FrameReader returns freshly allocated payloads,
 // so events can be shared across subscriber queues without copying.
+//
+// A corrupt frame (flipped bits, swallowed bytes, a payload the codec
+// rejects) poisons only itself: the broker counts it, resynchronizes on
+// the next frame boundary, and keeps serving the survivors. Only transport
+// errors — truncation, timeouts, hangups — end the publisher session.
 func (b *Broker) handlePublisher(conn net.Conn, channel string) {
 	ch := b.domain.OpenChannel(channel)
 	rc := netutil.WithTimeouts(conn, b.cfg.ReadTimeout, 0)
 	fr := codec.NewFrameReader(rc, b.reg)
 	events := b.met.Counter("broker.events_in")
 	bytesIn := b.met.Counter("broker.bytes_in")
+	corrupt := b.met.Counter("broker.corrupt_frames")
 	for {
 		data, _, err := fr.ReadBlock()
 		if err != nil {
+			if errors.Is(err, codec.ErrCorruptFrame) {
+				corrupt.Inc()
+				b.logf("broker: publisher on %q: dropping corrupt frame: %v", channel, err)
+				if rerr := fr.Resync(); rerr == nil {
+					continue
+				}
+				// No further frame boundary before the stream ended.
+				return
+			}
 			if err != io.EOF {
 				b.logf("broker: publisher on %q: %v", channel, err)
 			}

@@ -1,0 +1,46 @@
+package bwt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBWTDecode feeds arbitrary bytes through the full inverse pipeline
+// (chunk framing → RLE → MTF → inverse BWT). Corrupt primary indices and
+// truncated run encodings must error out rather than panic or index out of
+// range.
+func FuzzBWTDecode(f *testing.F) {
+	seeds := [][]byte{
+		nil,
+		[]byte("banana"),
+		bytes.Repeat([]byte("mississippi "), 40),
+		bytes.Repeat([]byte{7}, 512),
+	}
+	for _, s := range seeds {
+		comp, err := Compress(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(comp, len(s))
+	}
+	// A multi-chunk seed so the fuzzer reaches the chunk-boundary logic.
+	multi, err := CompressChunked(bytes.Repeat([]byte("abcd"), 600), 1024)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(multi, 2400)
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80}, 16)
+
+	f.Fuzz(func(t *testing.T, data []byte, origLen int) {
+		if origLen < 0 || origLen > 1<<20 {
+			return
+		}
+		out, err := Decompress(data, origLen)
+		if err != nil {
+			return
+		}
+		if len(out) != origLen {
+			t.Fatalf("decoded %d bytes, claimed %d", len(out), origLen)
+		}
+	})
+}

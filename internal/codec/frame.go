@@ -13,13 +13,25 @@ import (
 //	magic(2) version(1) method(1) flags(1)
 //	origLen(uvarint) compLen(uvarint) crc32(4) payload(compLen)
 //
-// The CRC (Castagnoli) covers the payload only; header corruption surfaces
-// as magic/length errors.
+// The CRC (Castagnoli) coverage depends on the version byte:
+//
+//   - version 1 (legacy): CRC over the payload only. Header corruption
+//     surfaces as magic/length errors or, worse, as a silently misparsed
+//     frame whose payload CRC happens to line up.
+//   - version 2 (current): CRC over the header bytes preceding the CRC
+//     field *and* the payload, so a flipped method byte, length varint, or
+//     flag is caught exactly like a flipped payload byte.
+//
+// Writers emit version 2; readers accept both, so pre-CRC-extension frames
+// (and recorded streams) still decode.
 const (
 	magic0 = 0xEC // "ECho"-flavoured magic
 	magic1 = 0x40
-	// FrameVersion is the current wire version.
-	FrameVersion = 1
+	// FrameVersion is the current wire version (header+payload CRC).
+	FrameVersion = 2
+	// FrameVersionV1 is the legacy wire version (payload-only CRC); readers
+	// still accept it.
+	FrameVersionV1 = 1
 	// MaxFrameLen bounds a single frame's original and compressed payload
 	// lengths (16 MiB), keeping hostile headers from driving huge
 	// allocations. It is exported so transports (the fan-out broker, the
@@ -35,12 +47,20 @@ const (
 	FlagFallback = 1 << 0
 )
 
-// Frame errors.
+// Frame errors. Every way a frame can be damaged in transit — bad magic,
+// unknown version, out-of-bounds lengths, checksum mismatch, or a payload
+// the named codec rejects — satisfies errors.Is(err, ErrCorruptFrame), so
+// consumers distinguish "this frame is poison, resync or drop it" from I/O
+// errors (truncation is io.ErrUnexpectedEOF: the stream ended, there is
+// nothing to resync onto).
 var (
-	ErrBadMagic   = errors.New("codec: bad frame magic")
-	ErrBadVersion = errors.New("codec: unsupported frame version")
-	ErrChecksum   = errors.New("codec: frame checksum mismatch")
-	ErrFrameSize  = errors.New("codec: frame length out of bounds")
+	// ErrCorruptFrame is the umbrella error for frames damaged in transit.
+	ErrCorruptFrame = errors.New("codec: corrupt frame")
+
+	ErrBadMagic   = fmt.Errorf("%w: bad frame magic", ErrCorruptFrame)
+	ErrBadVersion = fmt.Errorf("%w: unsupported frame version", ErrCorruptFrame)
+	ErrChecksum   = fmt.Errorf("%w: frame checksum mismatch", ErrCorruptFrame)
+	ErrFrameSize  = fmt.Errorf("%w: frame length out of bounds", ErrCorruptFrame)
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -87,7 +107,7 @@ func NewFrameWriter(w io.Writer, reg *Registry) *FrameWriter {
 }
 
 // AppendFrame compresses data with the requested method from reg (nil =
-// default registry) and appends one complete frame to dst. If the
+// default registry) and appends one complete version-2 frame to dst. If the
 // compressed payload is not smaller than the original, the block is sent
 // raw and flagged (the paper's selector already avoids such blocks, but
 // the wire format guarantees we never expand traffic).
@@ -113,10 +133,13 @@ func AppendFrame(dst []byte, reg *Registry, m Method, data []byte) ([]byte, Bloc
 	}
 	info.CompLen = len(payload)
 
+	base := len(dst)
 	dst = append(dst, magic0, magic1, FrameVersion, byte(info.Method), flags)
 	dst = binary.AppendUvarint(dst, uint64(len(data)))
 	dst = binary.AppendUvarint(dst, uint64(len(payload)))
-	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	crc := crc32.Update(0, castagnoli, dst[base:]) // header…
+	crc = crc32.Update(crc, castagnoli, payload)   // …then payload
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
 	return append(dst, payload...), info, nil
 }
 
@@ -134,11 +157,17 @@ func (fw *FrameWriter) WriteBlock(m Method, data []byte) (BlockInfo, error) {
 	return info, nil
 }
 
-// A FrameReader reads frames and decompresses their payloads.
+// A FrameReader reads frames and decompresses their payloads. After a
+// corrupt frame (errors.Is(err, ErrCorruptFrame)) the reader is positioned
+// past the damaged bytes; call Resync to scan for the next frame boundary
+// and keep decoding the survivors.
 type FrameReader struct {
-	r   io.Reader
-	reg *Registry
-	buf []byte
+	r       io.Reader
+	reg     *Registry
+	buf     []byte // payload scratch, reused across frames
+	pending []byte // bytes pushed back by Resync, consumed before r
+	hdr     []byte // raw header bytes of the frame attempt in progress
+	payLen  int    // payload bytes of a failed attempt retained in buf
 }
 
 // NewFrameReader returns a FrameReader using the default registry; pass a
@@ -150,41 +179,65 @@ func NewFrameReader(r io.Reader, reg *Registry) *FrameReader {
 	return &FrameReader{r: r, reg: reg}
 }
 
+// readFull fills p from the pushback buffer first, then the stream. Like
+// io.ReadFull it returns io.EOF only when nothing was read at all.
+func (fr *FrameReader) readFull(p []byte) error {
+	n := 0
+	if len(fr.pending) > 0 {
+		n = copy(p, fr.pending)
+		fr.pending = fr.pending[n:]
+		if n == len(p) {
+			return nil
+		}
+	}
+	if _, err := io.ReadFull(fr.r, p[n:]); err != nil {
+		if err == io.EOF && n > 0 {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return nil
+}
+
 func (fr *FrameReader) readUvarint() (uint64, error) {
 	var one [1]byte
 	var v uint64
 	for shift := uint(0); shift < 64; shift += 7 {
-		if _, err := io.ReadFull(fr.r, one[:]); err != nil {
+		if err := fr.readFull(one[:]); err != nil {
 			return 0, err
 		}
 		b := one[0]
+		fr.hdr = append(fr.hdr, b)
 		v |= uint64(b&0x7F) << shift
 		if b < 0x80 {
 			return v, nil
 		}
 	}
-	return 0, fmt.Errorf("codec: uvarint overflow")
+	return 0, fmt.Errorf("%w: uvarint overflow", ErrCorruptFrame)
 }
 
 // ReadBlock reads and decodes the next frame. It returns io.EOF cleanly at
-// a frame boundary and io.ErrUnexpectedEOF on mid-frame truncation.
+// a frame boundary, io.ErrUnexpectedEOF on mid-frame truncation, and an
+// error satisfying errors.Is(err, ErrCorruptFrame) on in-frame damage.
 func (fr *FrameReader) ReadBlock() ([]byte, BlockInfo, error) {
 	var info BlockInfo
+	fr.hdr = fr.hdr[:0]
+	fr.payLen = 0
 	var fixed [5]byte
-	if _, err := io.ReadFull(fr.r, fixed[:1]); err != nil {
+	if err := fr.readFull(fixed[:1]); err != nil {
 		return nil, info, err // io.EOF at a frame boundary is clean
 	}
-	if _, err := io.ReadFull(fr.r, fixed[1:]); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, info, err
+	fr.hdr = append(fr.hdr, fixed[0])
+	if err := fr.readFull(fixed[1:]); err != nil {
+		return nil, info, unexpectedEOF(err)
 	}
+	fr.hdr = append(fr.hdr, fixed[1:]...)
 	if fixed[0] != magic0 || fixed[1] != magic1 {
 		return nil, info, ErrBadMagic
 	}
-	if fixed[2] != FrameVersion {
-		return nil, info, fmt.Errorf("%w: %d", ErrBadVersion, fixed[2])
+	version := fixed[2]
+	if version != FrameVersion && version != FrameVersionV1 {
+		return nil, info, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
 	info.Method = Method(fixed[3])
 	info.Requested = info.Method
@@ -204,30 +257,97 @@ func (fr *FrameReader) ReadBlock() ([]byte, BlockInfo, error) {
 		return nil, info, ErrFrameSize
 	}
 	info.OrigLen, info.CompLen = int(origLen), int(compLen)
+	// The v2 CRC covers exactly the header bytes consumed so far.
+	hdrCRC := crc32.Update(0, castagnoli, fr.hdr)
 	var crcBuf [4]byte
-	if _, err := io.ReadFull(fr.r, crcBuf[:]); err != nil {
+	if err := fr.readFull(crcBuf[:]); err != nil {
 		return nil, info, unexpectedEOF(err)
 	}
+	fr.hdr = append(fr.hdr, crcBuf[:]...) // kept only for Resync scanning
 	wantCRC := binary.LittleEndian.Uint32(crcBuf[:])
 	if cap(fr.buf) < info.CompLen {
 		fr.buf = make([]byte, info.CompLen)
 	}
 	payload := fr.buf[:info.CompLen]
-	if _, err := io.ReadFull(fr.r, payload); err != nil {
+	if err := fr.readFull(payload); err != nil {
 		return nil, info, unexpectedEOF(err)
 	}
-	if crc32.Checksum(payload, castagnoli) != wantCRC {
+	fr.payLen = info.CompLen
+	gotCRC := crc32.Checksum(payload, castagnoli)
+	if version >= FrameVersion {
+		gotCRC = crc32.Update(hdrCRC, castagnoli, payload)
+	}
+	if gotCRC != wantCRC {
 		return nil, info, ErrChecksum
 	}
 	c, err := fr.reg.Get(info.Method)
 	if err != nil {
-		return nil, info, err
+		// A damaged method byte and a genuinely unregistered codec are
+		// indistinguishable on the wire; both poison only this frame.
+		return nil, info, fmt.Errorf("%w: %v", ErrCorruptFrame, err)
 	}
 	data, err := c.Decompress(payload, info.OrigLen)
 	if err != nil {
-		return nil, info, fmt.Errorf("decompress %v: %w", info.Method, err)
+		return nil, info, fmt.Errorf("%w: decompress %v: %w", ErrCorruptFrame, info.Method, err)
 	}
+	fr.hdr = fr.hdr[:0]
+	fr.payLen = 0
 	return data, info, nil
+}
+
+// plausibleBoundary reports whether a magic pair followed by ver looks like
+// the start of a real frame. Checking the version byte cuts most false
+// matches inside compressed payloads; a false positive just yields another
+// ErrCorruptFrame and another Resync, each advancing past the bogus match.
+func plausibleBoundary(ver byte) bool {
+	return ver == FrameVersion || ver == FrameVersionV1
+}
+
+// Resync abandons the current (corrupt) frame and scans forward for the
+// next plausible frame boundary — first through the bytes the failed
+// attempt already consumed (a bogus compLen routinely swallows the start of
+// the next healthy frame), then byte-by-byte through the live stream. On
+// success the next ReadBlock starts at the recovered boundary. It returns
+// io.EOF when the stream ends without another boundary.
+func (fr *FrameReader) Resync() error {
+	// Everything consumed by the failed attempt, minus its first magic byte
+	// (rescanning from index 0 would re-sync onto the same corrupt frame).
+	scan := make([]byte, 0, len(fr.hdr)+fr.payLen+len(fr.pending))
+	if len(fr.hdr) > 1 {
+		scan = append(scan, fr.hdr[1:]...)
+	}
+	scan = append(scan, fr.buf[:fr.payLen]...)
+	scan = append(scan, fr.pending...)
+	fr.hdr = fr.hdr[:0]
+	fr.payLen = 0
+	fr.pending = nil
+
+	for i := 0; i+2 < len(scan); i++ {
+		if scan[i] == magic0 && scan[i+1] == magic1 && plausibleBoundary(scan[i+2]) {
+			fr.pending = append([]byte(nil), scan[i:]...)
+			return nil
+		}
+	}
+	// A boundary may straddle the retained bytes and the live stream: seed
+	// a 3-byte rolling window with the tail and keep scanning.
+	var win [3]byte
+	n := copy(win[:], scan[max(0, len(scan)-2):])
+	for {
+		var one [1]byte
+		if _, err := io.ReadFull(fr.r, one[:]); err != nil {
+			return err
+		}
+		if n < 3 {
+			win[n] = one[0]
+			n++
+		} else {
+			win[0], win[1], win[2] = win[1], win[2], one[0]
+		}
+		if n == 3 && win[0] == magic0 && win[1] == magic1 && plausibleBoundary(win[2]) {
+			fr.pending = append([]byte(nil), win[:]...)
+			return nil
+		}
+	}
 }
 
 func unexpectedEOF(err error) error {

@@ -101,10 +101,11 @@ var _ io.WriteCloser = (*Writer)(nil)
 
 // Reader decodes an adaptive frame stream back into the original bytes.
 type Reader struct {
-	fr      *codec.FrameReader
-	rest    []byte
-	onBlock func(codec.BlockInfo)
-	err     error
+	fr        *codec.FrameReader
+	rest      []byte
+	onBlock   func(codec.BlockInfo)
+	onCorrupt func(error) bool
+	err       error
 }
 
 // NewReader returns a Reader over r. reg selects the codec set (nil =
@@ -112,6 +113,14 @@ type Reader struct {
 func NewReader(r io.Reader, reg *codec.Registry, onBlock func(codec.BlockInfo)) *Reader {
 	return &Reader{fr: codec.NewFrameReader(r, reg), onBlock: onBlock}
 }
+
+// SetCorruptHandler installs h, called whenever a frame fails integrity
+// checks (errors.Is(err, codec.ErrCorruptFrame)). Returning true skips the
+// poisoned frame and resynchronizes on the next frame boundary; returning
+// false (or h being nil) keeps the old fail-stop behaviour. Truncation and
+// transport errors are never offered to h: there is no stream left to
+// resync onto.
+func (r *Reader) SetCorruptHandler(h func(error) bool) { r.onCorrupt = h }
 
 // Read implements io.Reader.
 func (r *Reader) Read(p []byte) (int, error) {
@@ -121,6 +130,18 @@ func (r *Reader) Read(p []byte) (int, error) {
 		}
 		data, info, err := r.fr.ReadBlock()
 		if err != nil {
+			if r.onCorrupt != nil && errors.Is(err, codec.ErrCorruptFrame) && r.onCorrupt(err) {
+				switch rerr := r.fr.Resync(); rerr {
+				case nil:
+					continue
+				case io.EOF:
+					// The stream died inside its final frame; the handler
+					// already saw the damage, so end cleanly.
+					err = io.EOF
+				default:
+					err = rerr
+				}
+			}
 			r.err = err
 			return 0, err
 		}

@@ -1,0 +1,40 @@
+package huffman
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzHuffmanDecode feeds arbitrary bytes to Decompress. The decoder must
+// never panic or allocate proportionally to attacker-claimed lengths, only
+// to what it actually decodes; any malformed input must surface as an error.
+func FuzzHuffmanDecode(f *testing.F) {
+	seeds := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("the quick brown fox jumps over the lazy dog"),
+		bytes.Repeat([]byte("abab"), 64),
+		bytes.Repeat([]byte{0}, 300),
+	}
+	for _, s := range seeds {
+		comp, err := Compress(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(comp, len(s))
+	}
+	f.Add([]byte{0xff, 0xff, 0xff}, 10)
+
+	f.Fuzz(func(t *testing.T, data []byte, origLen int) {
+		if origLen < 0 || origLen > 1<<20 {
+			return // bound allocation: real callers clamp via frame limits
+		}
+		out, err := Decompress(data, origLen)
+		if err != nil {
+			return
+		}
+		if len(out) != origLen {
+			t.Fatalf("decoded %d bytes, claimed %d", len(out), origLen)
+		}
+	})
+}

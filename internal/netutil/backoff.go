@@ -1,0 +1,54 @@
+package netutil
+
+import "time"
+
+// Backoff default bounds.
+const (
+	DefaultBackoffMin = 200 * time.Millisecond
+	DefaultBackoffMax = 15 * time.Second
+)
+
+// Backoff produces capped exponential delays for reconnect loops: Min,
+// 2·Min, 4·Min, … clamped to Max. It is deterministic (no jitter) so
+// chaos-test schedules reproduce exactly. The zero value uses the defaults
+// above. Not safe for concurrent use; one Backoff per reconnect loop.
+type Backoff struct {
+	// Min is the first delay (DefaultBackoffMin if 0).
+	Min time.Duration
+	// Max caps the delay (DefaultBackoffMax if 0).
+	Max time.Duration
+
+	attempts int
+}
+
+// Next returns the delay to sleep before the next attempt and advances the
+// schedule.
+func (b *Backoff) Next() time.Duration {
+	min, max := b.Min, b.Max
+	if min <= 0 {
+		min = DefaultBackoffMin
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	if min > max {
+		min = max
+	}
+	d := min
+	for i := 0; i < b.attempts && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	b.attempts++
+	return d
+}
+
+// Attempts reports how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempts() int { return b.attempts }
+
+// Reset restarts the schedule at Min; call it after a healthy connection so
+// the next outage starts with a short retry again.
+func (b *Backoff) Reset() { b.attempts = 0 }

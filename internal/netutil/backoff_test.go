@@ -1,0 +1,49 @@
+package netutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	b := Backoff{Min: 100 * time.Millisecond, Max: time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // capped
+		time.Second, // stays capped
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("attempt %d: got %v want %v", i, got, w)
+		}
+	}
+	if b.Attempts() != len(want) {
+		t.Fatalf("Attempts = %d", b.Attempts())
+	}
+	b.Reset()
+	if got := b.Next(); got != 100*time.Millisecond {
+		t.Fatalf("after Reset: got %v", got)
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.Next(); got != DefaultBackoffMin {
+		t.Fatalf("first default delay = %v", got)
+	}
+	for i := 0; i < 20; i++ {
+		if got := b.Next(); got > DefaultBackoffMax {
+			t.Fatalf("delay %v exceeds cap %v", got, DefaultBackoffMax)
+		}
+	}
+}
+
+func TestBackoffMinAboveMax(t *testing.T) {
+	b := Backoff{Min: time.Minute, Max: time.Second}
+	if got := b.Next(); got != time.Second {
+		t.Fatalf("got %v want the cap", got)
+	}
+}

@@ -23,18 +23,53 @@ import (
 	"ccx/internal/netsim"
 )
 
+// Fate is the outcome of one packet transmission. Before it existed a
+// corrupted packet was indistinguishable from a delivered one: the model
+// accepted damaged payloads silently. Receivers now treat Corrupt exactly
+// like Lost for reliability purposes — the packet is NACKed and
+// retransmitted — while the accounting still records that it burned wire
+// time and bandwidth.
+type Fate int
+
+const (
+	// Delivered means the packet arrived and passed its checksum.
+	Delivered Fate = iota
+	// Lost means the packet vanished in transit.
+	Lost
+	// Corrupt means the packet arrived but failed its checksum; the
+	// receiver NACKs it like a loss.
+	Corrupt
+)
+
+// String names the fate.
+func (f Fate) String() string {
+	switch f {
+	case Delivered:
+		return "delivered"
+	case Lost:
+		return "lost"
+	case Corrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("fate(%d)", int(f))
+}
+
 // Path is a lossy one-way packet path.
 type Path interface {
 	// Transmit reports the serialization+propagation delay for one packet
-	// of the given size, or lost=true when the packet vanishes.
-	Transmit(size int) (delay time.Duration, lost bool)
+	// of the given size and its fate: delivered, lost, or delivered with a
+	// failed checksum.
+	Transmit(size int) (delay time.Duration, fate Fate)
 }
 
-// SimPath adapts a simulated link with Bernoulli loss.
+// SimPath adapts a simulated link with Bernoulli loss and corruption.
 type SimPath struct {
-	Link     *netsim.Link
-	LossRate float64
-	rng      *rand.Rand
+	Link *netsim.Link
+	// LossRate and CorruptRate are independent per-packet probabilities;
+	// their sum must stay ≤ 1.
+	LossRate    float64
+	CorruptRate float64
+	rng         *rand.Rand
 }
 
 // NewSimPath builds a SimPath with deterministic loss decisions.
@@ -42,13 +77,27 @@ func NewSimPath(link *netsim.Link, lossRate float64, seed int64) *SimPath {
 	return &SimPath{Link: link, LossRate: lossRate, rng: rand.New(rand.NewSource(seed))}
 }
 
+// NewSimPathCorrupting builds a SimPath that also flips packets: each
+// transmission is lost with lossRate, corrupted with corruptRate, and
+// delivered otherwise.
+func NewSimPathCorrupting(link *netsim.Link, lossRate, corruptRate float64, seed int64) *SimPath {
+	p := NewSimPath(link, lossRate, seed)
+	p.CorruptRate = corruptRate
+	return p
+}
+
 // Transmit implements Path.
-func (p *SimPath) Transmit(size int) (time.Duration, bool) {
+func (p *SimPath) Transmit(size int) (time.Duration, Fate) {
 	d := p.Link.TransferTime(size)
-	if p.LossRate > 0 && p.rng.Float64() < p.LossRate {
-		return d, true
+	if p.LossRate > 0 || p.CorruptRate > 0 {
+		switch r := p.rng.Float64(); {
+		case r < p.LossRate:
+			return d, Lost
+		case r < p.LossRate+p.CorruptRate:
+			return d, Corrupt
+		}
 	}
-	return d, false
+	return d, Delivered
 }
 
 // Config tunes a transfer.
@@ -88,6 +137,9 @@ type Result struct {
 	Duration time.Duration
 	// Packets and Retransmits count transmissions (Retransmits ⊆ Packets).
 	Packets, Retransmits int
+	// Corrupted counts packets that arrived with a failed checksum; each
+	// was NACKed and retransmitted like a loss.
+	Corrupted int
 	// Rounds is how many NACK rounds the transfer needed (1 = loss-free).
 	Rounds int
 	// Goodput is blockLen/Duration in bytes/s.
@@ -120,13 +172,24 @@ func Transfer(path Path, cfg Config, blockLen int) (Result, error) {
 		for i := 0; i < outstanding; i++ {
 			// Pace: one packet per gap.
 			clock += gap
-			delay, dropped := path.Transmit(cfg.PacketSize)
+			delay, fate := path.Transmit(cfg.PacketSize)
 			res.Packets++
 			if round > 0 {
 				res.Retransmits++
 			}
-			if dropped {
+			switch fate {
+			case Lost:
 				lost++
+				continue
+			case Corrupt:
+				// The packet occupied the wire all the way to the receiver,
+				// then failed its checksum: it still advances the arrival
+				// clock, but the receiver NACKs it like a loss.
+				res.Corrupted++
+				lost++
+				if arrival := clock + delay; arrival > lastArrival {
+					lastArrival = arrival
+				}
 				continue
 			}
 			if arrival := clock + delay; arrival > lastArrival {
@@ -171,16 +234,20 @@ func StopAndWait(path Path, cfg Config, blockLen int) (Result, error) {
 			if attempts > cfg.MaxRounds {
 				return res, ErrTooLossy
 			}
-			delay, dropped := path.Transmit(cfg.PacketSize)
+			delay, fate := path.Transmit(cfg.PacketSize)
 			res.Packets++
 			if attempts > 1 {
 				res.Retransmits++
 			}
-			if !dropped {
+			if fate == Delivered {
 				clock += delay + cfg.RTT
 				break
 			}
-			// Loss detected by ack timeout: one RTT wasted.
+			if fate == Corrupt {
+				res.Corrupted++
+			}
+			// Loss (or checksum failure) detected by ack timeout: one RTT
+			// wasted before the retransmission.
 			clock += cfg.RTT
 		}
 	}

@@ -9,18 +9,27 @@ import (
 	"ccx/internal/netsim"
 )
 
-// fixedPath delivers every packet with constant delay, dropping a scripted
-// set of transmission indices.
+// fixedPath delivers every packet with constant delay, applying a scripted
+// fate (loss or corruption) to chosen transmission indices.
 type fixedPath struct {
 	delay time.Duration
-	drops map[int]bool
+	fates map[int]Fate
 	count int
 }
 
-func (p *fixedPath) Transmit(size int) (time.Duration, bool) {
+func (p *fixedPath) Transmit(size int) (time.Duration, Fate) {
 	i := p.count
 	p.count++
-	return p.delay, p.drops[i]
+	return p.delay, p.fates[i]
+}
+
+// drops builds a fate script that loses the given transmission indices.
+func drops(idx ...int) map[int]Fate {
+	m := make(map[int]Fate, len(idx))
+	for _, i := range idx {
+		m[i] = Lost
+	}
+	return m
 }
 
 func TestTransferLossFree(t *testing.T) {
@@ -42,7 +51,7 @@ func TestTransferLossFree(t *testing.T) {
 
 func TestTransferWithLoss(t *testing.T) {
 	// Drop the 3rd and 7th transmissions: both retransmitted in round 2.
-	path := &fixedPath{delay: time.Millisecond, drops: map[int]bool{2: true, 6: true}}
+	path := &fixedPath{delay: time.Millisecond, fates: drops(2, 6)}
 	cfg := Config{PacketSize: 1000, RateBps: 1e6, RTT: 20 * time.Millisecond}
 	res, err := Transfer(path, cfg, 10_000)
 	if err != nil {
@@ -54,13 +63,60 @@ func TestTransferWithLoss(t *testing.T) {
 }
 
 func TestTransferTooLossy(t *testing.T) {
-	drops := map[int]bool{}
+	all := map[int]Fate{}
 	for i := 0; i < 100000; i++ {
-		drops[i] = true
+		all[i] = Lost
 	}
-	path := &fixedPath{delay: time.Millisecond, drops: drops}
+	path := &fixedPath{delay: time.Millisecond, fates: all}
 	if _, err := Transfer(path, Config{MaxRounds: 3}, 5000); err != ErrTooLossy {
 		t.Fatalf("got %v", err)
+	}
+}
+
+// TestCorruptPacketIsNACKedAndRetransmitted is the regression test for the
+// checksum-failure path: before Fate existed a corrupted packet counted as
+// delivered, so the transfer "completed" with damaged data. Now it must be
+// NACKed like a loss and retransmitted in the next round.
+func TestCorruptPacketIsNACKedAndRetransmitted(t *testing.T) {
+	path := &fixedPath{delay: time.Millisecond, fates: map[int]Fate{2: Corrupt}}
+	cfg := Config{PacketSize: 1000, RateBps: 1e6, RTT: 20 * time.Millisecond}
+	res, err := Transfer(path, cfg, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 first-round packets, one flipped → a second round retransmits it.
+	if res.Packets != 11 || res.Retransmits != 1 || res.Rounds != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Corrupted != 1 {
+		t.Fatalf("Corrupted = %d, want 1", res.Corrupted)
+	}
+
+	// Stop-and-wait sees the same failure through its ack timeout.
+	saw := &fixedPath{delay: time.Millisecond, fates: map[int]Fate{1: Corrupt}}
+	sres, err := StopAndWait(saw, cfg, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Packets != 4 || sres.Retransmits != 1 || sres.Corrupted != 1 {
+		t.Fatalf("stop-and-wait result = %+v", sres)
+	}
+}
+
+// TestSimPathCorruption drives the Bernoulli path hard enough that both
+// corruption and recovery show up, and the transfer still completes.
+func TestSimPathCorruption(t *testing.T) {
+	link := netsim.NewLink(netsim.Fast100, netsim.NewVirtual(), 3)
+	path := NewSimPathCorrupting(link, 0.02, 0.08, 9)
+	res, err := Transfer(path, Config{RateBps: 2e6, RTT: 50 * time.Millisecond}, 512<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corrupted == 0 {
+		t.Fatal("an 8% corruption rate produced zero corrupted packets")
+	}
+	if res.Retransmits < res.Corrupted {
+		t.Fatalf("corrupted packets not all retransmitted: %+v", res)
 	}
 }
 
