@@ -13,9 +13,19 @@
 //
 // Slow subscribers are handled per -policy: "drop" discards their oldest
 // queued events (each drop is counted), "evict" disconnects them so they
-// can reconnect and resynchronise. -stats dumps a metrics snapshot (bytes
-// in/out, per-method histograms, queue depths, drops, evictions) to stderr
-// at a fixed interval.
+// can reconnect and resynchronise.
+//
+// Observability: -metrics-interval dumps a metrics snapshot (bytes in/out,
+// per-method histograms, queue depths, drops, evictions) to stderr at a
+// fixed interval, and -debug serves the live debug plane over HTTP:
+//
+//	ccbroker -listen :9981 -channels md -debug 127.0.0.1:9984
+//	curl -s http://127.0.0.1:9984/metrics           # Prometheus exposition
+//	curl -s http://127.0.0.1:9984/debug/vars        # JSON snapshot
+//	curl -s http://127.0.0.1:9984/debug/decisions   # recent per-block decisions
+//	ccstat -addr 127.0.0.1:9984                     # one-line/s operator view
+//
+// net/http/pprof is mounted under /debug/pprof/ on the same listener.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"ccx/internal/broker"
 	"ccx/internal/faultnet"
 	"ccx/internal/metrics"
+	"ccx/internal/obs"
 	"ccx/internal/selector"
 )
 
@@ -56,7 +67,10 @@ func run(args []string, stop chan struct{}) error {
 		rto      = fs.Duration("rtimeout", 0, "per-read idle deadline on connections (0 = none)")
 		wto      = fs.Duration("wtimeout", 0, "per-write deadline on subscriber links (0 = none)")
 		speed    = fs.Float64("speedscale", 0, "divide measured reducing speeds by this factor (0 = off)")
-		stats    = fs.Duration("stats", 0, "dump a metrics snapshot to stderr at this interval (0 disables)")
+		interval = fs.Duration("metrics-interval", 0, "dump a metrics JSON snapshot to stderr at this interval (0 disables)")
+		stats    = fs.Duration("stats", 0, "deprecated alias for -metrics-interval")
+		debug    = fs.String("debug", "", "serve /metrics, /debug/vars, /debug/decisions, and /debug/pprof on this HTTP address (empty disables)")
+		traceLen = fs.Int("trace", obs.DefaultLogSize, "decision-trace ring capacity in records (served at /debug/decisions)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		fault    = fs.String("fault", "", `inject faults on every accepted connection for chaos testing, e.g. "flip=65536,seed=7" (see internal/faultnet)`)
 	)
@@ -82,6 +96,7 @@ func run(args []string, stop chan struct{}) error {
 		return err
 	}
 
+	trace := obs.NewDecisionLog(*traceLen)
 	cfg := broker.Config{
 		Channels:     names,
 		QueueLen:     *queueLen,
@@ -90,6 +105,7 @@ func run(args []string, stop chan struct{}) error {
 		ReadTimeout:  *rto,
 		WriteTimeout: *wto,
 		Metrics:      metrics.NewRegistry(),
+		Trace:        trace,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "ccbroker: "+format+"\n", args...)
 		},
@@ -115,29 +131,29 @@ func run(args []string, stop chan struct{}) error {
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- b.Serve(ln) }()
 
-	var ticker *time.Ticker
-	var tick <-chan time.Time
-	if *stats > 0 {
-		ticker = time.NewTicker(*stats)
-		tick = ticker.C
-		defer ticker.Stop()
+	if *debug != "" {
+		dbg, err := obs.Serve(*debug, b.Metrics(), trace)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "ccbroker: debug plane on http://%s/\n", dbg.Addr())
 	}
+	dumpEvery := *interval
+	if dumpEvery <= 0 {
+		dumpEvery = *stats
+	}
+	stopDump := obs.DumpEvery(b.Metrics(), dumpEvery, os.Stderr)
+	defer stopDump()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
-	for {
-		select {
-		case <-tick:
-			b.Metrics().WriteJSON(os.Stderr)
-			fmt.Fprintln(os.Stderr)
-			continue
-		case <-stop:
-		case <-sig:
-		case err := <-serveDone:
-			return err
-		}
-		break
+	select {
+	case <-stop:
+	case <-sig:
+	case err := <-serveDone:
+		return err
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)

@@ -13,6 +13,12 @@
 // and realigns on the next frame boundary instead of aborting, and
 // -reconnect N (broker mode) redials with capped exponential backoff after
 // transport errors.
+//
+// Observability: -debug serves Prometheus /metrics, the JSON /debug/vars
+// snapshot, the /debug/decisions per-block trace (including skipped
+// corrupt frames), and /debug/pprof over HTTP; -metrics-interval dumps
+// JSON snapshots to stderr. Both are off by default and cost nothing when
+// off.
 package main
 
 import (
@@ -27,7 +33,9 @@ import (
 	"ccx/internal/broker"
 	"ccx/internal/codec"
 	"ccx/internal/core"
+	"ccx/internal/metrics"
 	"ccx/internal/netutil"
+	"ccx/internal/obs"
 )
 
 func main() {
@@ -54,6 +62,8 @@ func run(args []string) error {
 		timeout   = fs.Duration("timeout", 0, "dial timeout and per-operation I/O deadline (0 = none)")
 		resync    = fs.Bool("resync", false, "skip frames that fail their checksum and realign on the next frame boundary")
 		reconnect = fs.Int("reconnect", 0, "broker mode: redial up to N times after a transport error (0 = give up)")
+		debug     = fs.String("debug", "", "serve /metrics, /debug/vars, /debug/decisions, and /debug/pprof on this HTTP address (empty disables)")
+		interval  = fs.Duration("metrics-interval", 0, "dump a metrics JSON snapshot to stderr at this interval (0 disables)")
 		verbose   = fs.Bool("v", false, "log every received block")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,12 +85,33 @@ func run(args []string) error {
 		dst = f
 	}
 
+	// Telemetry stays nil (zero cost) unless an observability flag asks
+	// for it.
+	var tel core.Telemetry
+	if *debug != "" || *interval > 0 {
+		tel = core.Telemetry{
+			Metrics: metrics.NewRegistry(),
+			Trace:   obs.NewDecisionLog(obs.DefaultLogSize),
+			Stream:  "recv",
+		}
+	}
+	if *debug != "" {
+		dbg, err := obs.Serve(*debug, tel.Metrics, tel.Trace)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "ccrecv: debug plane on http://%s/\n", dbg.Addr())
+	}
+	stopDump := obs.DumpEvery(tel.Metrics, *interval, os.Stderr)
+	defer stopDump()
+
 	stats := &recvStats{methods: make(map[codec.Method]int64)}
 	var err error
 	if *addr != "" {
-		err = subscribeLoop(dst, stats, *addr, *channel, *timeout, *resync, *reconnect, *verbose)
+		err = subscribeLoop(dst, stats, *addr, *channel, *timeout, *resync, *reconnect, *verbose, tel)
 	} else {
-		err = listenOnce(dst, stats, *listen, *timeout, *resync, *verbose)
+		err = listenOnce(dst, stats, *listen, *timeout, *resync, *verbose, tel)
 	}
 
 	fmt.Fprintf(os.Stderr, "received %d blocks, %d wire bytes -> %d bytes",
@@ -96,7 +127,7 @@ func run(args []string) error {
 }
 
 // listenOnce accepts a single ccsend connection and drains it.
-func listenOnce(dst io.Writer, stats *recvStats, listen string, timeout time.Duration, resync, verbose bool) error {
+func listenOnce(dst io.Writer, stats *recvStats, listen string, timeout time.Duration, resync, verbose bool, tel core.Telemetry) error {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -108,19 +139,19 @@ func listenOnce(dst io.Writer, stats *recvStats, listen string, timeout time.Dur
 		return err
 	}
 	defer conn.Close()
-	return receive(conn, dst, stats, timeout, resync, verbose)
+	return receive(conn, dst, stats, timeout, resync, verbose, tel)
 }
 
 // subscribeLoop dials the broker and receives, redialing with capped
 // exponential backoff after transport errors until the retry budget is
 // spent. A connection that delivered at least one block resets the budget,
 // so a long-lived subscriber survives any number of isolated outages.
-func subscribeLoop(dst io.Writer, stats *recvStats, addr, channel string, timeout time.Duration, resync bool, reconnect int, verbose bool) error {
+func subscribeLoop(dst io.Writer, stats *recvStats, addr, channel string, timeout time.Duration, resync bool, reconnect int, verbose bool, tel core.Telemetry) error {
 	bo := netutil.Backoff{Min: netutil.DefaultBackoffMin, Max: 5 * time.Second}
 	retries := 0
 	for {
 		before := stats.blocks
-		err := subscribeOnce(dst, stats, addr, channel, timeout, resync, verbose)
+		err := subscribeOnce(dst, stats, addr, channel, timeout, resync, verbose, tel)
 		if err == nil {
 			return nil // clean end of stream
 		}
@@ -138,7 +169,7 @@ func subscribeLoop(dst io.Writer, stats *recvStats, addr, channel string, timeou
 	}
 }
 
-func subscribeOnce(dst io.Writer, stats *recvStats, addr, channel string, timeout time.Duration, resync, verbose bool) error {
+func subscribeOnce(dst io.Writer, stats *recvStats, addr, channel string, timeout time.Duration, resync, verbose bool, tel core.Telemetry) error {
 	var conn net.Conn
 	var err error
 	if timeout > 0 {
@@ -176,12 +207,12 @@ func subscribeOnce(dst io.Writer, stats *recvStats, addr, channel string, timeou
 			}
 		}
 	}()
-	return receive(conn, dst, stats, timeout, resync, verbose)
+	return receive(conn, dst, stats, timeout, resync, verbose, tel)
 }
 
 // receive drains one connection into dst, optionally resynchronising past
 // corrupt frames instead of failing.
-func receive(conn net.Conn, dst io.Writer, stats *recvStats, timeout time.Duration, resync, verbose bool) error {
+func receive(conn net.Conn, dst io.Writer, stats *recvStats, timeout time.Duration, resync, verbose bool, tel core.Telemetry) error {
 	r := core.NewReader(netutil.WithTimeout(conn, timeout), nil, func(info codec.BlockInfo) {
 		stats.blocks++
 		stats.wire += int64(info.CompLen)
@@ -192,6 +223,7 @@ func receive(conn net.Conn, dst io.Writer, stats *recvStats, timeout time.Durati
 				stats.blocks-1, info.Method, info.CompLen, info.OrigLen)
 		}
 	})
+	r.SetTelemetry(tel)
 	if resync {
 		r.SetCorruptHandler(func(err error) bool {
 			stats.corrupt++

@@ -10,6 +10,11 @@
 //	ccsend -addr host:9900 big.dat          # on the sender
 //
 //	ccsend -addr host:9981 -channel md big.dat   # into a broker channel
+//
+// Observability: -debug serves Prometheus /metrics, the JSON /debug/vars
+// snapshot, the /debug/decisions per-block trace, and /debug/pprof over
+// HTTP for the lifetime of the transfer; -metrics-interval dumps JSON
+// snapshots to stderr. Both are off by default and cost nothing when off.
 package main
 
 import (
@@ -24,7 +29,9 @@ import (
 	"ccx/internal/codec"
 	"ccx/internal/core"
 	"ccx/internal/faultnet"
+	"ccx/internal/metrics"
 	"ccx/internal/netutil"
+	"ccx/internal/obs"
 	"ccx/internal/selector"
 )
 
@@ -43,6 +50,8 @@ func run(args []string) error {
 		blockSize = fs.Int("block", selector.DefaultBlockSize, "block size in bytes")
 		timeout   = fs.Duration("timeout", 0, "dial timeout and per-operation I/O deadline (0 = none)")
 		fault     = fs.String("fault", "", `inject faults on the outbound stream for chaos testing, e.g. "flip=65536,seed=7" (see internal/faultnet)`)
+		debug     = fs.String("debug", "", "serve /metrics, /debug/vars, /debug/decisions, and /debug/pprof on this HTTP address (empty disables)")
+		interval  = fs.Duration("metrics-interval", 0, "dump a metrics JSON snapshot to stderr at this interval (0 disables)")
 		verbose   = fs.Bool("v", false, "log every block's decision")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,10 +78,30 @@ func run(args []string) error {
 
 	cfg := selector.DefaultConfig()
 	cfg.BlockSize = *blockSize
-	engine, err := core.NewEngine(core.Config{Selector: cfg})
+	// Telemetry stays nil (zero cost) unless an observability flag asks
+	// for it.
+	var tel core.Telemetry
+	if *debug != "" || *interval > 0 {
+		tel = core.Telemetry{
+			Metrics: metrics.NewRegistry(),
+			Trace:   obs.NewDecisionLog(obs.DefaultLogSize),
+			Stream:  "send",
+		}
+	}
+	engine, err := core.NewEngine(core.Config{Selector: cfg, Telemetry: tel})
 	if err != nil {
 		return err
 	}
+	if *debug != "" {
+		dbg, err := obs.Serve(*debug, tel.Metrics, tel.Trace)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "ccsend: debug plane on http://%s/\n", dbg.Addr())
+	}
+	stopDump := obs.DumpEvery(tel.Metrics, *interval, os.Stderr)
+	defer stopDump()
 	conn, err := dial(*addr, *timeout)
 	if err != nil {
 		return err

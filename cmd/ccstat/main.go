@@ -1,0 +1,168 @@
+// Command ccstat is the operator's view of a running ccx process: point it
+// at a daemon's -debug address and it polls /debug/vars, printing one line
+// per interval with the rates that matter — blocks and bytes per second,
+// wire ratio, the method mix the adaptation loop is currently choosing,
+// queue pressure, and corruption counts.
+//
+//	ccbroker -listen :9981 -channels md -debug 127.0.0.1:9984 &
+//	ccstat -addr 127.0.0.1:9984
+//	15:04:05  blk    48 (12.0/s)  data 1.5 MB/s  wire 490 kB/s ( 31.9%)  [lz=10 none=2]  subs 3
+//
+// It works against any of ccbroker, ccsend, and ccrecv: the line renders
+// whichever of the tx/rx/broker metric families the endpoint exposes and
+// omits the rest.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ccstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("ccstat", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:9984", "debug address of a ccx process started with -debug")
+		interval = fs.Duration("interval", time.Second, "seconds between samples")
+		count    = fs.Int("n", 0, "stop after this many lines (0 = run until interrupted)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: *interval}
+	url := "http://" + *addr + "/debug/vars"
+
+	prev, err := fetchVars(client, url)
+	if err != nil {
+		return err
+	}
+	for printed := 0; *count == 0 || printed < *count; printed++ {
+		time.Sleep(*interval)
+		cur, err := fetchVars(client, url)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, renderLine(time.Now(), prev, cur, *interval))
+		prev = cur
+	}
+	return nil
+}
+
+// fetchVars pulls the flat JSON snapshot a ccx -debug endpoint serves at
+// /debug/vars.
+func fetchVars(client *http.Client, url string) (map[string]float64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var vars map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return vars, nil
+}
+
+// renderLine condenses one polling interval into a single status line.
+// Every segment is optional: a segment renders only when the endpoint
+// exposes its metric family, so the same code reads sender, receiver, and
+// broker endpoints.
+func renderLine(now time.Time, prev, cur map[string]float64, dt time.Duration) string {
+	delta := func(key string) float64 { return cur[key] - prev[key] }
+	secs := dt.Seconds()
+
+	var seg []string
+	seg = append(seg, now.Format("15:04:05"))
+
+	blocks := cur["ccx.tx_blocks"] + cur["ccx.rx_blocks"]
+	blockRate := (delta("ccx.tx_blocks") + delta("ccx.rx_blocks")) / secs
+	seg = append(seg, fmt.Sprintf("blk %5.0f (%.1f/s)", blocks, blockRate))
+
+	data := delta("ccx.tx_block_bytes.sum") + delta("ccx.rx_block_bytes.sum")
+	wire := delta("ccx.tx_wire_bytes.sum") + delta("ccx.rx_wire_bytes.sum")
+	if data > 0 {
+		seg = append(seg, fmt.Sprintf("data %s", rate(data, secs)),
+			fmt.Sprintf("wire %s (%5.1f%%)", rate(wire, secs), wire/data*100))
+	}
+	if mix := methodMix(prev, cur); mix != "" {
+		seg = append(seg, mix)
+	}
+	if subs, ok := cur["broker.subscribers"]; ok {
+		seg = append(seg, fmt.Sprintf("subs %.0f", subs))
+	}
+	for _, c := range [...]struct{ key, label string }{
+		{"broker.drops", "drops"},
+		{"broker.evictions", "evict"},
+		{"ccx.rx_corrupt_frames", "corrupt"},
+		{"ccx.tx_fallbacks", "fallback"},
+	} {
+		if cur[c.key] > 0 {
+			seg = append(seg, fmt.Sprintf("%s %.0f", c.label, cur[c.key]))
+		}
+	}
+	if p99, ok := cur["broker.queue_wait_seconds.p99"]; ok {
+		seg = append(seg, fmt.Sprintf("q.p99 %s", time.Duration(p99*float64(time.Second)).Round(10*time.Microsecond)))
+	}
+	return strings.Join(seg, "  ")
+}
+
+// methodMix summarizes which compression methods the interval's blocks
+// used, e.g. "[lz=10 none=2]". Sender endpoints expose ccx.tx_method.*,
+// receivers ccx.rx_method.*; the busier family wins.
+func methodMix(prev, cur map[string]float64) string {
+	for _, prefix := range []string{"ccx.tx_method.", "ccx.rx_method."} {
+		type mc struct {
+			name string
+			n    float64
+		}
+		var mix []mc
+		for key, v := range cur {
+			if d := v - prev[key]; strings.HasPrefix(key, prefix) && d > 0 {
+				mix = append(mix, mc{strings.TrimPrefix(key, prefix), d})
+			}
+		}
+		if len(mix) == 0 {
+			continue
+		}
+		sort.Slice(mix, func(i, j int) bool {
+			if mix[i].n != mix[j].n {
+				return mix[i].n > mix[j].n
+			}
+			return mix[i].name < mix[j].name
+		})
+		parts := make([]string, len(mix))
+		for i, m := range mix {
+			parts[i] = fmt.Sprintf("%s=%.0f", m.name, m.n)
+		}
+		return "[" + strings.Join(parts, " ") + "]"
+	}
+	return ""
+}
+
+// rate renders bytes-per-interval as a human bytes/s figure.
+func rate(bytes, secs float64) string {
+	bps := bytes / secs
+	switch {
+	case bps >= 1e6:
+		return fmt.Sprintf("%.1f MB/s", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.1f kB/s", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0f B/s", bps)
+	}
+}

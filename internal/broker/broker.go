@@ -41,6 +41,8 @@ import (
 	"ccx/internal/echo"
 	"ccx/internal/metrics"
 	"ccx/internal/netutil"
+	"ccx/internal/obs"
+	"ccx/internal/selector"
 )
 
 // Policy says what to do when a subscriber's outbound queue overflows.
@@ -118,6 +120,10 @@ type Config struct {
 	// Metrics receives instrumentation (nil = a private registry,
 	// retrievable via Broker.Metrics).
 	Metrics *metrics.Registry
+	// Trace receives one decision record per block sent to any subscriber
+	// (stream "sub.<id>"), served over the -debug plane's
+	// /debug/decisions. nil disables tracing entirely.
+	Trace *obs.DecisionLog
 	// Logf logs connection lifecycle events (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -198,6 +204,10 @@ func (b *Broker) Domain() *echo.Domain { return b.domain }
 
 // Metrics returns the instrumentation registry the broker feeds.
 func (b *Broker) Metrics() *metrics.Registry { return b.met }
+
+// Decisions returns the per-block decision trace, nil unless Config.Trace
+// was set.
+func (b *Broker) Decisions() *obs.DecisionLog { return b.cfg.Trace }
 
 // Subscribers reports the number of live subscriber connections.
 func (b *Broker) Subscribers() int {
@@ -398,6 +408,13 @@ func (b *Broker) handlePublisher(conn net.Conn, channel string) {
 	}
 }
 
+// queuedEvent is one event waiting in a subscriber's outbound queue; the
+// enqueue stamp feeds the time-in-queue histogram on dequeue.
+type queuedEvent struct {
+	data []byte
+	at   time.Time
+}
+
 // subscriber is one consumer connection with a private adaptation loop.
 type subscriber struct {
 	id      int
@@ -407,22 +424,42 @@ type subscriber struct {
 	engine  *core.Engine
 	echoSub *echo.Subscription
 
-	queue chan []byte
+	queue chan queuedEvent
 	drain chan struct{} // closed by Shutdown: flush queue, then hang up
 	quit  chan struct{} // closed on evict/teardown: exit immediately
 	once  sync.Once
 
-	enc []byte // frame scratch buffer
+	enc    []byte // frame scratch buffer
+	blocks int    // ordinal of the next block, for trace records
 
-	bytesIn  *metrics.Counter
-	bytesOut *metrics.Counter
-	drops    *metrics.Counter
-	depth    *metrics.Gauge
-	ratio    *metrics.EWMA
+	bytesIn   *metrics.Counter
+	bytesOut  *metrics.Counter
+	drops     *metrics.Counter
+	depth     *metrics.Gauge
+	depthHWM  *metrics.Gauge
+	ratio     *metrics.EWMA
+	queueWait *metrics.Histogram
 }
 
 func (b *Broker) addSubscriber(conn net.Conn, channel string) (*subscriber, error) {
-	engine, err := core.NewEngine(b.cfg.Engine)
+	// Reserve the subscriber's id first: the engine's telemetry stream
+	// label ("sub.<id>") needs it before the engine is built.
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.nextID++
+	id := b.nextID
+	b.mu.Unlock()
+
+	ecfg := b.cfg.Engine
+	ecfg.Telemetry = core.Telemetry{
+		Metrics: b.met,
+		Trace:   b.cfg.Trace,
+		Stream:  fmt.Sprintf("sub.%d", id),
+	}
+	engine, err := core.NewEngine(ecfg)
 	if err != nil {
 		return nil, fmt.Errorf("broker: subscriber engine: %w", err)
 	}
@@ -431,23 +468,23 @@ func (b *Broker) addSubscriber(conn net.Conn, channel string) (*subscriber, erro
 		b.mu.Unlock()
 		return nil, ErrClosed
 	}
-	b.nextID++
-	id := b.nextID
 	s := &subscriber{
 		id:      id,
 		channel: channel,
 		conn:    conn,
 		wc:      netutil.WithTimeouts(conn, 0, b.cfg.WriteTimeout),
 		engine:  engine,
-		queue:   make(chan []byte, b.cfg.QueueLen),
+		queue:   make(chan queuedEvent, b.cfg.QueueLen),
 		drain:   make(chan struct{}),
 		quit:    make(chan struct{}),
 
-		bytesIn:  b.met.Counter(fmt.Sprintf("sub.%d.bytes_in", id)),
-		bytesOut: b.met.Counter(fmt.Sprintf("sub.%d.bytes_out", id)),
-		drops:    b.met.Counter(fmt.Sprintf("sub.%d.drops", id)),
-		depth:    b.met.Gauge(fmt.Sprintf("sub.%d.queue_depth", id)),
-		ratio:    b.met.EWMA(fmt.Sprintf("sub.%d.ratio", id), 0),
+		bytesIn:   b.met.Counter(fmt.Sprintf("sub.%d.bytes_in", id)),
+		bytesOut:  b.met.Counter(fmt.Sprintf("sub.%d.bytes_out", id)),
+		drops:     b.met.Counter(fmt.Sprintf("sub.%d.drops", id)),
+		depth:     b.met.Gauge(fmt.Sprintf("sub.%d.queue_depth", id)),
+		depthHWM:  b.met.Gauge(fmt.Sprintf("sub.%d.queue_hwm", id)),
+		ratio:     b.met.EWMA(fmt.Sprintf("sub.%d.ratio", id), 0),
+		queueWait: b.met.Histogram("broker.queue_wait_seconds", metrics.LatencyBuckets),
 	}
 	b.subs[id] = s
 	b.mu.Unlock()
@@ -464,9 +501,10 @@ func (s *subscriber) enqueue(b *Broker, data []byte) {
 	if len(data) == 0 {
 		return
 	}
+	ev := queuedEvent{data: data, at: time.Now()}
 	select {
-	case s.queue <- data:
-		s.depth.Set(int64(len(s.queue)))
+	case s.queue <- ev:
+		s.noteDepth()
 		return
 	default:
 	}
@@ -479,16 +517,23 @@ func (s *subscriber) enqueue(b *Broker, data []byte) {
 		default:
 		}
 		select {
-		case s.queue <- data:
+		case s.queue <- ev:
 		default:
 			// Lost the race to another producer; the new event is the drop.
 			s.drops.Inc()
 			b.met.Counter("broker.drops").Inc()
 		}
-		s.depth.Set(int64(len(s.queue)))
+		s.noteDepth()
 	case Evict:
 		b.removeSub(s, true, "outbound queue overflow")
 	}
+}
+
+// noteDepth refreshes the queue-depth gauge and its high-water mark.
+func (s *subscriber) noteDepth() {
+	d := int64(len(s.queue))
+	s.depth.Set(d)
+	s.depthHWM.SetMax(d)
 }
 
 // run is the subscriber's write loop: dequeue, adapt, frame, send.
@@ -514,41 +559,47 @@ func (s *subscriber) run(b *Broker) {
 			// Graceful shutdown: flush whatever is queued, then hang up.
 			for {
 				select {
-				case data := <-s.queue:
-					if !s.send(b, data) {
+				case ev := <-s.queue:
+					if !s.send(b, ev) {
 						return
 					}
 				default:
 					return
 				}
 			}
-		case data := <-s.queue:
+		case ev := <-s.queue:
 			s.depth.Set(int64(len(s.queue)))
-			if !s.send(b, data) {
+			if !s.send(b, ev) {
 				return
 			}
 		case <-hb:
-			if !s.send(b, nil) {
+			if !s.send(b, queuedEvent{}) {
 				return
 			}
 		}
 	}
 }
 
-// send frames one event (nil = heartbeat) with this subscriber's engine and
-// writes it. It reports false on write failure — the caller tears down.
-func (s *subscriber) send(b *Broker, data []byte) bool {
+// send frames one event (zero value = heartbeat) with this subscriber's
+// engine and writes it. It reports false on write failure — the caller
+// tears down.
+func (s *subscriber) send(b *Broker, ev queuedEvent) bool {
+	data := ev.data
 	var (
 		frame []byte
 		info  codec.BlockInfo
+		dec   selector.Decision
 		err   error
 	)
+	encStart := time.Now()
 	if len(data) == 0 {
 		frame, _, err = codec.AppendFrame(s.enc[:0], b.reg, codec.None, nil)
 	} else {
-		dec := s.engine.Decide(data)
+		s.queueWait.Observe(encStart.Sub(ev.at).Seconds())
+		dec = s.engine.Decide(data)
 		frame, info, err = codec.AppendFrame(s.enc[:0], b.reg, dec.Method, data)
 	}
+	encodeTime := time.Since(encStart)
 	if err != nil {
 		b.logf("broker: subscriber %d encode: %v", s.id, err)
 		return false
@@ -563,13 +614,23 @@ func (s *subscriber) send(b *Broker, data []byte) bool {
 	if len(data) == 0 {
 		return true
 	}
+	sendTime := time.Since(start)
 	// End-to-end feedback: the write stalls under receiver backpressure,
 	// which is exactly the acceptance-rate signal the selector wants.
-	s.engine.Monitor().Observe(len(frame), time.Since(start))
+	s.engine.Monitor().Observe(len(frame), sendTime)
 	s.bytesIn.Add(int64(len(data)))
 	s.bytesOut.Add(int64(len(frame)))
 	s.ratio.Observe(info.Ratio())
 	b.met.Counter(fmt.Sprintf("sub.%d.method.%s", s.id, info.Method)).Inc()
+	s.engine.ObserveBlock(core.BlockResult{
+		Index:        s.blocks,
+		Decision:     dec,
+		Info:         info,
+		CompressTime: encodeTime,
+		SendTime:     sendTime,
+		WireBytes:    len(frame),
+	})
+	s.blocks++
 	return true
 }
 

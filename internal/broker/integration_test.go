@@ -15,6 +15,7 @@ import (
 	"ccx/internal/datagen"
 	"ccx/internal/metrics"
 	"ccx/internal/netsim"
+	"ccx/internal/obs"
 	"ccx/internal/selector"
 )
 
@@ -30,12 +31,14 @@ func TestFanOutAdaptsPerLink(t *testing.T) {
 		numEvents = 48
 	)
 	met := metrics.NewRegistry()
+	trace := obs.NewDecisionLog(1024)
 	cfg := Config{
 		QueueLen:     256,
 		Policy:       Evict,
 		WriteTimeout: 400 * time.Millisecond,
 		Heartbeat:    -1,
 		Metrics:      met,
+		Trace:        trace,
 	}
 	// SpeedScale emulates a CPU slow enough relative to the simulated links
 	// that the selector faces the paper's actual trade-off (native reducing
@@ -186,5 +189,46 @@ func TestFanOutAdaptsPerLink(t *testing.T) {
 	}
 	if _, ok := snap["sub.3.queue_depth"]; !ok {
 		t.Error("metrics snapshot missing per-subscriber queue depth")
+	}
+
+	// (d) Queue telemetry: the slow WAN subscriber must have backed its
+	// queue up at some point (high-water mark), and every delivered event
+	// must have contributed a time-in-queue observation.
+	if hwm := snap["sub.3.queue_hwm"]; hwm < 1 {
+		t.Errorf("wan subscriber queue high-water mark = %.0f, want >= 1 on a 600x-slower link", hwm)
+	}
+	if fast, slow := snap["sub.1.queue_hwm"], snap["sub.3.queue_hwm"]; fast > slow {
+		t.Errorf("queue high-water marks inverted: lan %.0f > wan %.0f", fast, slow)
+	}
+	// 3 live subscribers x numEvents events, minus anything flushed at
+	// shutdown; at minimum every wan delivery waited in queue.
+	if waits := snap["broker.queue_wait_seconds.count"]; waits < numEvents {
+		t.Errorf("time-in-queue observations = %.0f, want >= %d", waits, numEvents)
+	}
+
+	// (e) The decision trace carries one record per delivered block, and
+	// its per-stream method mix agrees with the wire-level histograms each
+	// subscriber decoded in (b).
+	recs := trace.Recent(0)
+	traceMethods := make(map[string]map[string]int)
+	for _, rec := range recs {
+		if rec.Stream == "" || rec.Method == "" || rec.Reason == "" {
+			t.Fatalf("incomplete trace record: %+v", rec)
+		}
+		mm := traceMethods[rec.Stream]
+		if mm == nil {
+			mm = make(map[string]int)
+			traceMethods[rec.Stream] = mm
+		}
+		mm[rec.Method]++
+	}
+	for i := range links {
+		stream := fmt.Sprintf("sub.%d", i+1)
+		for m, n := range results[i].methods {
+			if got := traceMethods[stream][m.String()]; got != n {
+				t.Errorf("%s trace records %d %s blocks, wire shows %d",
+					stream, got, m, n)
+			}
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 )
 
 // Frame header layout (see DESIGN.md §5):
@@ -79,6 +80,10 @@ type BlockInfo struct {
 	// Fallback reports whether the block fell back to raw transport because
 	// compression expanded it.
 	Fallback bool
+	// DecodeTime is the CPU time FrameReader.ReadBlock spent decompressing
+	// the payload (network wait excluded) — the decode-latency sample the
+	// telemetry layer histograms. Zero for frames produced by writers.
+	DecodeTime time.Duration
 }
 
 // Ratio returns CompLen/OrigLen, the fraction of the original size that
@@ -286,7 +291,9 @@ func (fr *FrameReader) ReadBlock() ([]byte, BlockInfo, error) {
 		// indistinguishable on the wire; both poison only this frame.
 		return nil, info, fmt.Errorf("%w: %v", ErrCorruptFrame, err)
 	}
+	start := time.Now()
 	data, err := c.Decompress(payload, info.OrigLen)
+	info.DecodeTime = time.Since(start)
 	if err != nil {
 		return nil, info, fmt.Errorf("%w: decompress %v: %w", ErrCorruptFrame, info.Method, err)
 	}

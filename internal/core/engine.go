@@ -50,6 +50,10 @@ type Config struct {
 	// Now supplies timestamps for probe and compression timing; nil means
 	// time.Now. Experiments inject virtual clocks for determinism.
 	Now func() time.Time
+	// Telemetry wires the engine into the observability plane (histograms
+	// and per-block decision traces). The zero value disables all
+	// instrumentation at no hot-path cost.
+	Telemetry Telemetry
 }
 
 // Engine runs the adaptation loop. It is safe for concurrent use, though
@@ -61,6 +65,8 @@ type Engine struct {
 	mon    *bwmon.Monitor
 	smp    *sampling.Sampler
 	now    func() time.Time
+	tel    Telemetry
+	tx     *txInstruments // nil unless Telemetry.Metrics is set
 
 	mu      sync.Mutex
 	pending chan sampling.ProbeResult
@@ -87,7 +93,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if policy == nil {
 		policy = selector.RatioPolicy{Config: sel}
 	}
-	return &Engine{
+	e := &Engine{
 		sel:    sel,
 		policy: policy,
 		reg:    reg,
@@ -98,7 +104,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 			Now:        now,
 		},
 		now: now,
-	}, nil
+		tel: cfg.Telemetry,
+	}
+	if cfg.Telemetry.Metrics != nil {
+		e.tx = newTxInstruments(cfg.Telemetry.Metrics, reg)
+	}
+	return e, nil
 }
 
 // BlockSize returns the configured transmission block size.
@@ -223,6 +234,7 @@ func (s *Session) TransmitBlock(block, next []byte, send SendFunc) (BlockResult,
 	}
 	res.SendTime = d
 	e.mon.Observe(len(frame), d)
+	e.ObserveBlock(res)
 	return res, nil
 }
 

@@ -106,6 +106,10 @@ type Reader struct {
 	onBlock   func(codec.BlockInfo)
 	onCorrupt func(error) bool
 	err       error
+
+	tel Telemetry
+	rx  *rxInstruments // nil unless SetTelemetry installed a registry
+	seq int            // ordinal of the next frame (healthy or corrupt)
 }
 
 // NewReader returns a Reader over r. reg selects the codec set (nil =
@@ -131,6 +135,8 @@ func (r *Reader) Read(p []byte) (int, error) {
 		data, info, err := r.fr.ReadBlock()
 		if err != nil {
 			if r.onCorrupt != nil && errors.Is(err, codec.ErrCorruptFrame) && r.onCorrupt(err) {
+				r.observeCorrupt(err)
+				r.seq++
 				switch rerr := r.fr.Resync(); rerr {
 				case nil:
 					continue
@@ -145,6 +151,8 @@ func (r *Reader) Read(p []byte) (int, error) {
 			r.err = err
 			return 0, err
 		}
+		r.observeBlock(info)
+		r.seq++
 		if r.onBlock != nil {
 			r.onBlock(info)
 		}

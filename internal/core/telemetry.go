@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"ccx/internal/codec"
+	"ccx/internal/metrics"
+	"ccx/internal/obs"
+)
+
+// Telemetry wires an adaptation loop into the observability plane. Both
+// fields are optional and nil by default: a zero Telemetry disables all
+// instrumentation, and every hot-path hook is gated on a single nil check,
+// so un-instrumented engines pay nothing.
+type Telemetry struct {
+	// Metrics receives latency/size/ratio histograms and method-mix
+	// counters under "ccx.*" names (shared across engines on the same
+	// registry, so distributions aggregate per process).
+	Metrics *metrics.Registry
+	// Trace receives one obs.Record per transmitted (or received) block.
+	Trace *obs.DecisionLog
+	// Stream labels this loop's trace records ("send", "sub.3", ...).
+	Stream string
+}
+
+// enabled reports whether any sink is configured.
+func (t Telemetry) enabled() bool { return t.Metrics != nil || t.Trace != nil }
+
+// txInstruments are the send-side metrics, resolved once at engine build
+// so the per-block path touches only atomics.
+type txInstruments struct {
+	encodeLat *metrics.Histogram      // ccx.encode_seconds
+	sendLat   *metrics.Histogram      // ccx.send_seconds
+	blockIn   *metrics.Histogram      // ccx.tx_block_bytes (original)
+	wireOut   *metrics.Histogram      // ccx.tx_wire_bytes (frame)
+	blocks    *metrics.Counter        // ccx.tx_blocks
+	fallbacks *metrics.Counter        // ccx.tx_fallbacks
+	ratio     [256]*metrics.Histogram // ccx.ratio.<method>
+	methods   [256]*metrics.Counter   // ccx.tx_method.<method>
+}
+
+// newTxInstruments resolves the send-side metric set against reg. The
+// per-method slots cover every codec registered at engine build; methods
+// deployed afterwards still count in the aggregate histograms but skip the
+// per-method views.
+func newTxInstruments(reg *metrics.Registry, codecs *codec.Registry) *txInstruments {
+	ins := &txInstruments{
+		encodeLat: reg.Histogram("ccx.encode_seconds", metrics.LatencyBuckets),
+		sendLat:   reg.Histogram("ccx.send_seconds", metrics.LatencyBuckets),
+		blockIn:   reg.Histogram("ccx.tx_block_bytes", metrics.SizeBuckets),
+		wireOut:   reg.Histogram("ccx.tx_wire_bytes", metrics.SizeBuckets),
+		blocks:    reg.Counter("ccx.tx_blocks"),
+		fallbacks: reg.Counter("ccx.tx_fallbacks"),
+	}
+	for _, m := range codecs.Methods() {
+		ins.ratio[m] = reg.Histogram(fmt.Sprintf("ccx.ratio.%s", m), metrics.RatioBuckets)
+		ins.methods[m] = reg.Counter(fmt.Sprintf("ccx.tx_method.%s", m))
+	}
+	return ins
+}
+
+// Telemetry returns the engine's telemetry wiring (zero value when none).
+func (e *Engine) Telemetry() Telemetry { return e.tel }
+
+// ObserveBlock feeds one transmitted block into the engine's telemetry:
+// histograms for encode/send latency, block and wire sizes, per-method
+// realized ratio; and a decision-trace record carrying the selector's
+// inputs alongside the realized outcome. No-op without telemetry.
+//
+// Session.TransmitBlock calls this for every block; transports that frame
+// blocks themselves (the broker's per-subscriber loop) call it directly.
+func (e *Engine) ObserveBlock(res BlockResult) {
+	if !e.tel.enabled() {
+		return
+	}
+	if ins := e.tx; ins != nil {
+		ins.blocks.Inc()
+		ins.encodeLat.ObserveDuration(res.CompressTime)
+		if res.SendTime > 0 {
+			ins.sendLat.ObserveDuration(res.SendTime)
+		}
+		ins.blockIn.Observe(float64(res.Info.OrigLen))
+		ins.wireOut.Observe(float64(res.WireBytes))
+		if res.Info.Fallback {
+			ins.fallbacks.Inc()
+		}
+		if h := ins.ratio[res.Info.Method]; h != nil {
+			h.Observe(res.Info.Ratio())
+		}
+		if c := ins.methods[res.Info.Method]; c != nil {
+			c.Inc()
+		}
+	}
+	if e.tel.Trace != nil {
+		in := res.Decision.Inputs
+		e.tel.Trace.Add(obs.Record{
+			Stream:       e.tel.Stream,
+			Block:        res.Index,
+			BlockLen:     in.BlockLen,
+			GoodputBps:   e.mon.Goodput(),
+			ProbeRatio:   in.ProbeRatio,
+			ReduceSpeed:  in.ReducingSpeed,
+			Entropy:      in.Entropy,
+			Repetition:   in.Repetition,
+			PredSendNs:   int64(in.SendTime),
+			PredReduceNs: int64(res.Decision.LZReduceTime),
+			Method:       res.Info.Method.String(),
+			Reason:       res.Decision.Reason(),
+			WireBytes:    res.WireBytes,
+			Ratio:        res.Info.Ratio(),
+			EncodeNs:     int64(res.CompressTime),
+			SendNs:       int64(res.SendTime),
+			Fallback:     res.Info.Fallback,
+		})
+	}
+}
+
+// rxInstruments are the receive-side metrics, resolved by SetTelemetry.
+// The per-method counters fill lazily; the Reader is sequential (one
+// goroutine), so the array needs no synchronization.
+type rxInstruments struct {
+	decodeLat *metrics.Histogram // ccx.decode_seconds
+	wireIn    *metrics.Histogram // ccx.rx_wire_bytes
+	blockOut  *metrics.Histogram // ccx.rx_block_bytes
+	blocks    *metrics.Counter   // ccx.rx_blocks
+	corrupt   *metrics.Counter   // ccx.rx_corrupt_frames
+	methods   [256]*metrics.Counter
+}
+
+// SetTelemetry instruments the Reader: every decoded block observes the
+// decode-latency and size histograms and appends a trace record; every
+// corrupt frame offered to the corrupt handler bumps ccx.rx_corrupt_frames
+// and appends a Corrupt trace record documenting the skipped block. Call
+// before the first Read; pass a zero Telemetry to disable.
+func (r *Reader) SetTelemetry(t Telemetry) {
+	r.tel = t
+	if t.Metrics == nil {
+		r.rx = nil
+		return
+	}
+	r.rx = &rxInstruments{
+		decodeLat: t.Metrics.Histogram("ccx.decode_seconds", metrics.LatencyBuckets),
+		wireIn:    t.Metrics.Histogram("ccx.rx_wire_bytes", metrics.SizeBuckets),
+		blockOut:  t.Metrics.Histogram("ccx.rx_block_bytes", metrics.SizeBuckets),
+		blocks:    t.Metrics.Counter("ccx.rx_blocks"),
+		corrupt:   t.Metrics.Counter("ccx.rx_corrupt_frames"),
+	}
+}
+
+// observeBlock records one successfully decoded block.
+func (r *Reader) observeBlock(info codec.BlockInfo) {
+	if ins := r.rx; ins != nil {
+		ins.blocks.Inc()
+		ins.decodeLat.ObserveDuration(info.DecodeTime)
+		ins.wireIn.Observe(float64(info.CompLen))
+		ins.blockOut.Observe(float64(info.OrigLen))
+		c := ins.methods[info.Method]
+		if c == nil {
+			c = r.tel.Metrics.Counter(fmt.Sprintf("ccx.rx_method.%s", info.Method))
+			ins.methods[info.Method] = c
+		}
+		c.Inc()
+	}
+	if r.tel.Trace != nil {
+		r.tel.Trace.Add(obs.Record{
+			Stream:    r.tel.Stream,
+			Block:     r.seq,
+			BlockLen:  info.OrigLen,
+			Method:    info.Method.String(),
+			WireBytes: info.CompLen,
+			Ratio:     info.Ratio(),
+			Fallback:  info.Fallback,
+			DecodeNs:  int64(info.DecodeTime),
+		})
+	}
+}
+
+// observeCorrupt records one corrupt frame the reader skipped via resync.
+func (r *Reader) observeCorrupt(err error) {
+	if r.rx != nil {
+		r.rx.corrupt.Inc()
+	}
+	if r.tel.Trace != nil {
+		r.tel.Trace.Add(obs.Record{
+			Stream:  r.tel.Stream,
+			Block:   r.seq,
+			Corrupt: true,
+			Err:     err.Error(),
+		})
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"ccx/internal/codec"
+	"ccx/internal/datagen"
+	"ccx/internal/metrics"
+	"ccx/internal/obs"
+	"ccx/internal/selector"
+)
+
+func telemetryEngine(t *testing.T, blockSize int, tel Telemetry) *Engine {
+	t.Helper()
+	cfg := selector.DefaultConfig()
+	cfg.BlockSize = blockSize
+	e, err := NewEngine(Config{Selector: cfg, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSessionTelemetry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	log := obs.NewDecisionLog(64)
+	e := telemetryEngine(t, 8<<10, Telemetry{Metrics: reg, Trace: log, Stream: "send"})
+	data := datagen.OISTransactions(64<<10, 0.9, 7)
+
+	var wire bytes.Buffer
+	w := NewWriter(&wire, e, nil)
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	const blocks = 8 // 64 KiB / 8 KiB
+	if got := snap["ccx.tx_blocks"]; got != blocks {
+		t.Errorf("tx_blocks = %v, want %d", got, blocks)
+	}
+	if got := snap["ccx.encode_seconds.count"]; got != blocks {
+		t.Errorf("encode latency observations = %v, want %d", got, blocks)
+	}
+	if got := snap["ccx.tx_block_bytes.count"]; got != blocks {
+		t.Errorf("block size observations = %v, want %d", got, blocks)
+	}
+
+	recs := log.Recent(0)
+	if len(recs) != blocks {
+		t.Fatalf("trace has %d records, want %d", len(recs), blocks)
+	}
+	var methodTotal float64
+	for _, m := range []codec.Method{codec.None, codec.Huffman, codec.Arithmetic, codec.LempelZiv, codec.BurrowsWheeler} {
+		methodTotal += snap["ccx.tx_method."+m.String()]
+	}
+	if methodTotal != blocks {
+		t.Errorf("per-method counters sum to %v, want %d", methodTotal, blocks)
+	}
+	for i, rec := range recs {
+		if rec.Stream != "send" || rec.Block != i {
+			t.Errorf("record %d: stream=%q block=%d", i, rec.Stream, rec.Block)
+		}
+		if rec.Method == "" || rec.Reason == "" {
+			t.Errorf("record %d missing method/reason: %+v", i, rec)
+		}
+		if rec.WireBytes <= 0 || rec.BlockLen <= 0 {
+			t.Errorf("record %d missing sizes: %+v", i, rec)
+		}
+	}
+	// The first block is always sent raw (no goodput measurement yet) and
+	// the trace must say why.
+	if recs[0].Method != "none" || !strings.Contains(recs[0].Reason, "no goodput") {
+		t.Errorf("first record = %+v, want raw with first-block reason", recs[0])
+	}
+}
+
+// TestReaderTelemetryCorruptFrame is the onBlock/SetCorruptHandler
+// interaction test: a frame corrupted in flight must (a) reach the corrupt
+// handler, (b) be skipped via resync while later frames still decode, and
+// (c) leave its mark in both the metrics counters and the decision trace,
+// without ever reaching onBlock.
+func TestReaderTelemetryCorruptFrame(t *testing.T) {
+	e := smallBlockEngine(t, 4<<10)
+	data := datagen.OISTransactions(20<<10, 0.9, 3)
+
+	var wire bytes.Buffer
+	var frameEnds []int
+	w := NewWriter(&wire, e, func(BlockResult) { frameEnds = append(frameEnds, wire.Len()) })
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(frameEnds) < 3 {
+		t.Fatalf("need >= 3 frames, got %d", len(frameEnds))
+	}
+	// Flip a payload byte inside the second frame.
+	raw := wire.Bytes()
+	raw[frameEnds[0]+20] ^= 0xFF
+
+	reg := metrics.NewRegistry()
+	log := obs.NewDecisionLog(64)
+	r := NewReader(bytes.NewReader(raw), nil, func(info codec.BlockInfo) {
+		if info.OrigLen == 0 {
+			t.Error("onBlock observed an empty block")
+		}
+	})
+	r.SetTelemetry(Telemetry{Metrics: reg, Trace: log, Stream: "recv"})
+	var handlerCalls int
+	r.SetCorruptHandler(func(err error) bool {
+		handlerCalls++
+		return true
+	})
+
+	got, err := io.ReadAll(r)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if handlerCalls != 1 {
+		t.Fatalf("corrupt handler ran %d times, want 1", handlerCalls)
+	}
+	if len(got) >= len(data) || len(got) == 0 {
+		t.Fatalf("resync delivered %d bytes of %d; exactly one block should be missing", len(got), len(data))
+	}
+
+	snap := reg.Snapshot()
+	if c := snap["ccx.rx_corrupt_frames"]; c != 1 {
+		t.Errorf("rx_corrupt_frames = %v, want 1", c)
+	}
+	wantBlocks := float64(len(frameEnds) - 1)
+	if b := snap["ccx.rx_blocks"]; b != wantBlocks {
+		t.Errorf("rx_blocks = %v, want %v (one skipped)", b, wantBlocks)
+	}
+	if d := snap["ccx.decode_seconds.count"]; d != wantBlocks {
+		t.Errorf("decode latency observations = %v, want %v", d, wantBlocks)
+	}
+
+	recs := log.Recent(0)
+	if len(recs) != len(frameEnds) {
+		t.Fatalf("trace has %d records, want %d (healthy + corrupt)", len(recs), len(frameEnds))
+	}
+	var corrupt []obs.Record
+	for _, rec := range recs {
+		if rec.Corrupt {
+			corrupt = append(corrupt, rec)
+		} else if rec.Method == "" || rec.BlockLen == 0 {
+			t.Errorf("healthy record incomplete: %+v", rec)
+		}
+	}
+	if len(corrupt) != 1 {
+		t.Fatalf("trace has %d corrupt records, want 1", len(corrupt))
+	}
+	if corrupt[0].Block != 1 {
+		t.Errorf("corrupt record at block %d, want 1 (the damaged frame)", corrupt[0].Block)
+	}
+	if !strings.Contains(corrupt[0].Err, "checksum") {
+		t.Errorf("corrupt record err = %q, want the checksum failure", corrupt[0].Err)
+	}
+}
+
+// TestTelemetryOffCostsNothing pins the opt-out contract: a zero Telemetry
+// leaves no instruments resolved and no trace running.
+func TestTelemetryOffCostsNothing(t *testing.T) {
+	e := smallBlockEngine(t, 8<<10)
+	if e.tx != nil {
+		t.Fatal("instruments resolved without a registry")
+	}
+	if e.Telemetry().enabled() {
+		t.Fatal("zero telemetry reports enabled")
+	}
+	// ObserveBlock with telemetry off must be a no-op, not a panic.
+	e.ObserveBlock(BlockResult{})
+	var r Reader
+	r.observeBlock(codec.BlockInfo{})
+	r.observeCorrupt(io.ErrUnexpectedEOF)
+}
+
+func BenchmarkTransmitBlock(b *testing.B) {
+	run := func(b *testing.B, tel Telemetry) {
+		cfg := selector.DefaultConfig()
+		cfg.BlockSize = 64 << 10
+		e, err := NewEngine(Config{Selector: cfg, Telemetry: tel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := NewSession(e)
+		block := datagen.OISTransactions(64<<10, 0.9, 1)
+		send := func(frame []byte) (dur time.Duration, _ error) { return time.Millisecond, nil }
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.TransmitBlock(block, nil, send); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("telemetry=off", func(b *testing.B) { run(b, Telemetry{}) })
+	b.Run("telemetry=on", func(b *testing.B) {
+		run(b, Telemetry{Metrics: metrics.NewRegistry(), Trace: obs.NewDecisionLog(0), Stream: "bench"})
+	})
+}

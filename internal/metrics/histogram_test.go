@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, x := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(x)
+	}
+	s := h.Snapshot()
+	// 0.5 and 1 land in le=1; 1.5 in le=2; 3 in le=4; 100 in +Inf.
+	want := []int64{2, 1, 1, 1}
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d (snapshot %+v)", i, s.Counts[i], n, s)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-106) > 1e-9 {
+		t.Errorf("sum = %v, want 106", s.Sum)
+	}
+}
+
+func TestHistogramDedupesAndSortsBounds(t *testing.T) {
+	h := NewHistogram([]float64{4, 1, 2, 2, 1})
+	s := h.Snapshot()
+	if len(s.Bounds) != 3 || s.Bounds[0] != 1 || s.Bounds[1] != 2 || s.Bounds[2] != 4 {
+		t.Fatalf("bounds = %v, want [1 2 4]", s.Bounds)
+	}
+	if len(s.Counts) != 4 {
+		t.Fatalf("counts len = %d, want 4 (buckets + Inf)", len(s.Counts))
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i % 40))
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	if p50 < 10 || p50 > 30 {
+		t.Errorf("p50 = %v, want within (10,30) for a roughly uniform 0..39 series", p50)
+	}
+	if !math.IsNaN(NewHistogram(nil).Snapshot().Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	// All mass in the +Inf bucket reports the largest finite bound.
+	over := NewHistogram([]float64{1})
+	over.Observe(50)
+	if q := over.Snapshot().Quantile(0.99); q != 1 {
+		t.Errorf("overflow quantile = %v, want capped at 1", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(float64(i*j) * 1e-6)
+				h.ObserveDuration(time.Duration(j) * time.Microsecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 16000 {
+		t.Fatalf("count = %d, want 16000", got)
+	}
+	var bucketTotal int64
+	s := h.Snapshot()
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != 16000 {
+		t.Fatalf("bucket total = %d, want 16000", bucketTotal)
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("broker.bytes_in")
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("cross-kind registration must panic")
+		}
+		msg, ok := rec.(string)
+		if !ok || !strings.Contains(msg, "broker.bytes_in") ||
+			!strings.Contains(msg, "counter") || !strings.Contains(msg, "gauge") {
+			t.Fatalf("panic %v should name the metric and both kinds", rec)
+		}
+	}()
+	r.Gauge("broker.bytes_in")
+}
+
+func TestRegistrySameKindNoPanic(t *testing.T) {
+	r := NewRegistry()
+	if r.Histogram("lat", LatencyBuckets) != r.Histogram("lat", nil) {
+		t.Fatal("same name+kind must return the same histogram")
+	}
+	r.Counter("c")
+	r.Counter("c") // same kind: fine
+}
+
+func TestSnapshotIncludesHistogramSummary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("enc", []float64{1, 2})
+	snap := r.Snapshot()
+	if snap["enc.count"] != 0 {
+		t.Fatalf("empty histogram count = %v", snap["enc.count"])
+	}
+	if _, ok := snap["enc.p50"]; ok {
+		t.Fatal("empty histogram must not emit quantiles")
+	}
+	h.Observe(1.5)
+	h.Observe(0.5)
+	snap = r.Snapshot()
+	if snap["enc.count"] != 2 || snap["enc.sum"] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if _, ok := snap["enc.p50"]; !ok {
+		t.Fatal("populated histogram should emit p50")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"enc.count":2`) {
+		t.Fatalf("JSON missing histogram count: %s", buf.String())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("broker.bytes_in").Add(10)
+	r.Gauge("broker.subscribers").Set(3)
+	r.EWMA("sub.3.ratio", 0).Observe(0.5)
+	h := r.Histogram("ccx.encode_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE broker_bytes_in counter",
+		"broker_bytes_in 10",
+		"# TYPE broker_subscribers gauge",
+		"# TYPE sub_3_ratio gauge",
+		"sub_3_ratio 0.5",
+		"# TYPE ccx_encode_seconds histogram",
+		`ccx_encode_seconds_bucket{le="0.001"} 1`,
+		`ccx_encode_seconds_bucket{le="0.01"} 1`,
+		`ccx_encode_seconds_bucket{le="+Inf"} 2`,
+		"ccx_encode_seconds_sum 0.5005",
+		"ccx_encode_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Basic format sanity: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if parts := strings.Fields(line); len(parts) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"sub.3.bytes_out": "sub_3_bytes_out",
+		"3abc":            "_3abc",
+		"a-b c":           "a_b_c",
+		"":                "_",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want high-water 5", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatalf("gauge = %d, want 9", g.Value())
+	}
+}

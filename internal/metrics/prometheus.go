@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PromName converts a dotted registry name into a valid Prometheus metric
+// name: dots and other illegal characters become underscores, and a name
+// starting with a digit gains a leading underscore. "sub.3.bytes_out" →
+// "sub_3_bytes_out".
+func PromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		legal := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if legal {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value the way the exposition format expects.
+func promFloat(f float64) string {
+	switch {
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	case math.IsNaN(f):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as their native types, EWMAs
+// as gauges, histograms as the standard cumulative _bucket/_sum/_count
+// triple. Metrics are emitted in name order so the output is diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, v := range r.Views() {
+		name := PromName(v.Name)
+		var err error
+		switch v.Kind {
+		case KindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", name, name, promFloat(v.Value))
+		case KindGauge, KindEWMA:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(v.Value))
+		case KindHistogram:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			var cum int64
+			for i, bound := range v.Hist.Bounds {
+				cum += v.Hist.Counts[i]
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, v.Hist.Count); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+				name, promFloat(v.Hist.Sum), name, v.Hist.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

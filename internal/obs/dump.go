@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"io"
+	"time"
+
+	"ccx/internal/metrics"
+)
+
+// DumpEvery writes reg's JSON snapshot to w at the given interval — the
+// -metrics-interval loop shared by the ccx daemons. It returns a stop
+// function (safe to call more than once) that halts the ticker; a nil
+// registry or non-positive interval yields a no-op stop.
+func DumpEvery(reg *metrics.Registry, interval time.Duration, w io.Writer) (stop func()) {
+	if reg == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				reg.WriteJSON(w)
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(done)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"ccx/internal/metrics"
+)
+
+// Handler returns the debug plane as an http.Handler:
+//
+//	GET /metrics           Prometheus text exposition of reg
+//	GET /debug/vars        flat JSON snapshot of reg (ccstat's feed)
+//	GET /debug/decisions   recent decision-trace records as a JSON array
+//	                       (?n=N caps the count, ?format=jsonl streams
+//	                       one object per line)
+//	GET /debug/pprof/...   the standard runtime profiles
+//	GET /                  a plain-text index of the above
+//
+// reg and log may each be nil; the corresponding endpoints then serve
+// empty documents, so one mux shape fits every daemon.
+func Handler(reg *metrics.Registry, log *DecisionLog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if reg == nil {
+			fmt.Fprintln(w, "{}")
+			return
+		}
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/decisions", func(w http.ResponseWriter, r *http.Request) {
+		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		if r.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = log.WriteJSONL(w, n)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		recs := log.Recent(n)
+		if recs == nil {
+			recs = []Record{}
+		}
+		_ = json.NewEncoder(w).Encode(recs)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "ccx debug plane\n\n"+
+			"  /metrics          Prometheus text exposition\n"+
+			"  /debug/vars       JSON metrics snapshot\n"+
+			"  /debug/decisions  recent per-block selector decisions (?n=N, ?format=jsonl)\n"+
+			"  /debug/pprof/     runtime profiles\n")
+	})
+	return mux
+}
+
+// Server is a running debug HTTP listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the debug plane on addr (e.g. ":6060" or "127.0.0.1:0")
+// and serves it in the background until Close. The bound address is
+// available via Addr, so ":0" works in tests.
+func Serve(addr string, reg *metrics.Registry, log *DecisionLog) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg, log),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

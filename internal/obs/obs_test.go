@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"ccx/internal/metrics"
+)
+
+func TestDecisionLogRing(t *testing.T) {
+	l := NewDecisionLog(4)
+	if l.Cap() != 4 {
+		t.Fatalf("cap = %d, want 4", l.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		l.Add(Record{Block: i, Method: "none"})
+	}
+	recs := l.Recent(0)
+	if len(recs) != 4 {
+		t.Fatalf("recent = %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.Block != 6+i {
+			t.Errorf("recent[%d].Block = %d, want %d", i, r.Block, 6+i)
+		}
+		if r.Seq != uint64(6+i) {
+			t.Errorf("recent[%d].Seq = %d, want %d", i, r.Seq, 6+i)
+		}
+		if r.Time.IsZero() {
+			t.Errorf("recent[%d] missing timestamp", i)
+		}
+	}
+	if got := l.Recent(2); len(got) != 2 || got[1].Block != 9 {
+		t.Fatalf("Recent(2) = %+v, want the 2 newest", got)
+	}
+	if l.Len() != 4 || l.Seq() != 10 {
+		t.Fatalf("len=%d seq=%d, want 4 and 10", l.Len(), l.Seq())
+	}
+}
+
+func TestDecisionLogRoundsCapacity(t *testing.T) {
+	if got := NewDecisionLog(5).Cap(); got != 8 {
+		t.Fatalf("cap = %d, want next power of two 8", got)
+	}
+	if got := NewDecisionLog(0).Cap(); got != DefaultLogSize {
+		t.Fatalf("cap = %d, want default %d", got, DefaultLogSize)
+	}
+}
+
+func TestNilDecisionLogIsInert(t *testing.T) {
+	var l *DecisionLog
+	l.Add(Record{}) // must not panic
+	if l.Recent(10) != nil || l.Len() != 0 || l.Cap() != 0 || l.Seq() != 0 {
+		t.Fatal("nil log must be empty")
+	}
+	if err := l.WriteJSONL(io.Discard, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecisionLogConcurrent(t *testing.T) {
+	l := NewDecisionLog(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Add(Record{Block: i})
+				_ = l.Recent(16)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Seq() != 4000 {
+		t.Fatalf("seq = %d, want 4000", l.Seq())
+	}
+	recs := l.Recent(0)
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq <= recs[i-1].Seq {
+			t.Fatalf("records out of order: %d after %d", recs[i].Seq, recs[i-1].Seq)
+		}
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	l := NewDecisionLog(8)
+	l.Add(Record{Stream: "send", Block: 0, Method: "none", GoodputBps: 1e6})
+	l.Add(Record{Stream: "send", Block: 1, Method: "lempel-ziv", Ratio: 0.4})
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d invalid JSON: %v", lines, err)
+		}
+		if rec.Block != lines {
+			t.Fatalf("line %d block = %d", lines, rec.Block)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("wrote %d lines, want 2", lines)
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("broker.events_in").Add(7)
+	reg.Histogram("ccx.encode_seconds", metrics.LatencyBuckets).Observe(0.002)
+	log := NewDecisionLog(16)
+	log.Add(Record{Stream: "sub.1", Block: 0, Method: "huffman", GoodputBps: 5e5})
+
+	srv, err := Serve("127.0.0.1:0", reg, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr().String()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	if body, ct := get("/metrics"); !strings.Contains(body, "broker_events_in 7") ||
+		!strings.Contains(body, "ccx_encode_seconds_bucket") ||
+		!strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics = %q (content-type %q)", body, ct)
+	}
+	body, _ := get("/debug/vars")
+	var vars map[string]float64
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars["broker.events_in"] != 7 || vars["ccx.encode_seconds.count"] != 1 {
+		t.Errorf("/debug/vars = %v", vars)
+	}
+	body, _ = get("/debug/decisions")
+	var recs []Record
+	if err := json.Unmarshal([]byte(body), &recs); err != nil {
+		t.Fatalf("/debug/decisions not JSON: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Method != "huffman" || recs[0].GoodputBps != 5e5 {
+		t.Errorf("/debug/decisions = %+v", recs)
+	}
+	if body, _ = get("/debug/decisions?format=jsonl&n=1"); !strings.Contains(body, `"huffman"`) {
+		t.Errorf("jsonl decisions = %q", body)
+	}
+	if body, _ = get("/debug/pprof/cmdline"); body == "" {
+		t.Error("pprof cmdline empty")
+	}
+	if body, _ = get("/"); !strings.Contains(body, "/debug/decisions") {
+		t.Errorf("index = %q", body)
+	}
+}
+
+func TestDebugServerNilPieces(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/decisions"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s with nil registry/log: status %d", path, resp.StatusCode)
+		}
+	}
+}

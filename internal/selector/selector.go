@@ -114,11 +114,38 @@ func (in Inputs) LZReduceTime() time.Duration {
 }
 
 // Decision records a selection and the reasoning inputs, for the audit
-// trails the experiments plot (Figures 8 and 11).
+// trails the experiments plot (Figures 8 and 11) and the decision traces
+// internal/obs serves over /debug/decisions.
 type Decision struct {
 	Method       codec.Method
 	Inputs       Inputs
 	LZReduceTime time.Duration
+}
+
+// Reason summarizes in one line why the decision came out the way it did,
+// in terms of the §2.5 comparisons: which branch fired and the send/reduce
+// ratio that drove it. The string is stable enough for decision traces but
+// not a parseable format.
+func (d Decision) Reason() string {
+	in := d.Inputs
+	switch {
+	case in.SendTime <= 0 || in.BlockLen == 0:
+		return "no goodput measurement yet: send raw"
+	case d.LZReduceTime <= 0:
+		return "probe found block incompressible: send raw"
+	}
+	ratio := float64(in.SendTime) / float64(d.LZReduceTime)
+	switch d.Method {
+	case codec.None:
+		return fmt.Sprintf("line fast: send/reduce %.2f below threshold", ratio)
+	case codec.Huffman:
+		return fmt.Sprintf("line slow (send/reduce %.2f) but probe ratio %.2f above cutoff: entropy coding", ratio, in.ProbeRatio)
+	case codec.BurrowsWheeler:
+		return fmt.Sprintf("line very slow (send/reduce %.2f), probe ratio %.2f: strongest method", ratio, in.ProbeRatio)
+	case codec.LempelZiv:
+		return fmt.Sprintf("line slow (send/reduce %.2f), probe ratio %.2f: dictionary coding", ratio, in.ProbeRatio)
+	}
+	return fmt.Sprintf("custom policy chose %s (send/reduce %.2f)", d.Method, ratio)
 }
 
 // Select runs the paper's §2.5 algorithm.

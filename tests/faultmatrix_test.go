@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -17,6 +19,26 @@ import (
 	"ccx/internal/faultnet"
 	"ccx/internal/metrics"
 )
+
+// dumpFaultMetrics appends one labeled JSON line with the case's final
+// metrics snapshot to $CCX_METRICS_OUT. CI uploads the file as a build
+// artifact, giving every run a comparable record of how each fault plan
+// moved the counters; locally the variable is unset and this is a no-op.
+func dumpFaultMetrics(t *testing.T, name string, met *metrics.Registry) {
+	path := os.Getenv("CCX_METRICS_OUT")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("CCX_METRICS_OUT: %v", err)
+	}
+	defer f.Close()
+	line := map[string]any{"case": name, "metrics": met.Snapshot()}
+	if err := json.NewEncoder(f).Encode(line); err != nil {
+		t.Fatalf("CCX_METRICS_OUT: %v", err)
+	}
+}
 
 // TestFaultMatrix runs the full publish path — ccsend-style frame writer →
 // TCP → broker → per-subscriber adaptation → ccrecv-style frame reader —
@@ -159,6 +181,7 @@ func TestFaultMatrix(t *testing.T) {
 			case <-time.After(5 * time.Second):
 				t.Fatal("subscriber loop never ended after shutdown")
 			}
+			dumpFaultMetrics(t, tc.name, met)
 
 			// Delivered blocks must be byte-identical to their originals —
 			// corruption may drop blocks, never alter them.
