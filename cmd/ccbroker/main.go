@@ -15,6 +15,13 @@
 // queued events (each drop is counted), "evict" disconnects them so they
 // can reconnect and resynchronise.
 //
+// Every block published through a channel is stamped with a monotonically
+// increasing sequence number and retained in a bounded per-channel replay
+// ring (-replay-blocks / -replay-bytes; set both to 0 to disable). A
+// subscriber that reconnects with ccrecv -resume presents its last
+// delivered sequence and the broker replays everything newer it still
+// holds; blocks evicted past the window are reported as an explicit gap.
+//
 // Observability: -metrics-interval dumps a metrics snapshot (bytes in/out,
 // per-method histograms, queue depths, drops, evictions) to stderr at a
 // fixed interval, and -debug serves the live debug plane over HTTP:
@@ -64,6 +71,8 @@ func run(args []string, stop chan struct{}) error {
 		policy   = fs.String("policy", "drop", "slow-subscriber policy: drop (oldest) | evict")
 		block    = fs.Int("block", 64<<10, "block size hint for per-subscriber compression engines")
 		hb       = fs.Duration("hb", broker.DefaultHeartbeat, "idle-link heartbeat interval (negative disables)")
+		rblocks  = fs.Int("replay-blocks", broker.DefaultReplayBlocks, "per-channel replay window for resuming subscribers, in blocks (0 with -replay-bytes 0 disables replay)")
+		rbytes   = fs.Int64("replay-bytes", broker.DefaultReplayBytes, "per-channel replay window for resuming subscribers, in bytes (0 with -replay-blocks 0 disables replay)")
 		rto      = fs.Duration("rtimeout", 0, "per-read idle deadline on connections (0 = none)")
 		wto      = fs.Duration("wtimeout", 0, "per-write deadline on subscriber links (0 = none)")
 		speed    = fs.Float64("speedscale", 0, "divide measured reducing speeds by this factor (0 = off)")
@@ -102,6 +111,8 @@ func run(args []string, stop chan struct{}) error {
 		QueueLen:     *queueLen,
 		Policy:       pol,
 		Heartbeat:    *hb,
+		ReplayBlocks: *rblocks,
+		ReplayBytes:  *rbytes,
 		ReadTimeout:  *rto,
 		WriteTimeout: *wto,
 		Metrics:      metrics.NewRegistry(),

@@ -14,6 +14,19 @@
 // -reconnect N (broker mode) redials with capped exponential backoff after
 // transport errors.
 //
+// With -resume the subscription survives those reconnects without losing
+// or repeating data: the receiver tracks the per-channel sequence numbers
+// the broker stamps into frames and, on redial, presents the last sequence
+// it delivered contiguously. The broker replays everything newer from its
+// bounded replay window; if the window no longer reaches back far enough
+// the gap is reported explicitly (stderr, metrics, decision trace) — never
+// silently skipped. -watchdog D treats a connection that delivers no bytes
+// for D as dead, turning a stalled-but-open link into a reconnect instead
+// of an indefinite hang:
+//
+//	ccrecv -addr host:9981 -channel md -out copy.dat \
+//	    -reconnect 10 -resume -watchdog 30s
+//
 // Observability: -debug serves Prometheus /metrics, the JSON /debug/vars
 // snapshot, the /debug/decisions per-block trace (including skipped
 // corrupt frames), and /debug/pprof over HTTP; -metrics-interval dumps
@@ -62,6 +75,8 @@ func run(args []string) error {
 		timeout   = fs.Duration("timeout", 0, "dial timeout and per-operation I/O deadline (0 = none)")
 		resync    = fs.Bool("resync", false, "skip frames that fail their checksum and realign on the next frame boundary")
 		reconnect = fs.Int("reconnect", 0, "broker mode: redial up to N times after a transport error (0 = give up)")
+		resume    = fs.Bool("resume", false, "broker mode: resume across reconnects — present the last delivered sequence so the broker replays missed blocks and duplicates are suppressed")
+		watchdog  = fs.Duration("watchdog", 0, "broker mode: treat a connection that delivers no bytes for this long as dead and reconnect (0 disables)")
 		debug     = fs.String("debug", "", "serve /metrics, /debug/vars, /debug/decisions, and /debug/pprof on this HTTP address (empty disables)")
 		interval  = fs.Duration("metrics-interval", 0, "dump a metrics JSON snapshot to stderr at this interval (0 disables)")
 		verbose   = fs.Bool("v", false, "log every received block")
@@ -74,6 +89,12 @@ func run(args []string) error {
 	}
 	if *reconnect > 0 && *addr == "" {
 		return fmt.Errorf("-reconnect only applies to broker mode (-addr/-channel)")
+	}
+	if *resume && *addr == "" {
+		return fmt.Errorf("-resume only applies to broker mode (-addr/-channel)")
+	}
+	if *watchdog > 0 && *addr == "" {
+		return fmt.Errorf("-watchdog only applies to broker mode (-addr/-channel)")
 	}
 	var dst io.Writer = os.Stdout
 	if *out != "" {
@@ -107,9 +128,23 @@ func run(args []string) error {
 	defer stopDump()
 
 	stats := &recvStats{methods: make(map[codec.Method]int64)}
+	var track *core.DeliveryTracker
+	if *resume {
+		track = new(core.DeliveryTracker)
+	}
 	var err error
 	if *addr != "" {
-		err = subscribeLoop(dst, stats, *addr, *channel, *timeout, *resync, *reconnect, *verbose, tel)
+		err = subscribeLoop(dst, stats, subOpts{
+			addr:      *addr,
+			channel:   *channel,
+			timeout:   *timeout,
+			watchdog:  *watchdog,
+			resync:    *resync,
+			verbose:   *verbose,
+			reconnect: *reconnect,
+			track:     track,
+			tel:       tel,
+		})
 	} else {
 		err = listenOnce(dst, stats, *listen, *timeout, *resync, *verbose, tel)
 	}
@@ -123,6 +158,11 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "  (%d corrupt frames skipped)", stats.corrupt)
 	}
 	fmt.Fprintln(os.Stderr)
+	if track != nil {
+		ds := track.Stats()
+		fmt.Fprintf(os.Stderr, "resume: %d delivered, %d duplicates suppressed, %d gaps (%d blocks lost)\n",
+			ds.Delivered, ds.Dups, ds.GapEvents, ds.GapBlocks)
+	}
 	return err
 }
 
@@ -139,19 +179,33 @@ func listenOnce(dst io.Writer, stats *recvStats, listen string, timeout time.Dur
 		return err
 	}
 	defer conn.Close()
-	return receive(conn, dst, stats, timeout, resync, verbose, tel)
+	return receive(conn, dst, stats, timeout, resync, verbose, tel, nil)
+}
+
+// subOpts carries the broker-subscriber configuration through the
+// dial/receive loop.
+type subOpts struct {
+	addr, channel     string
+	timeout, watchdog time.Duration
+	resync, verbose   bool
+	reconnect         int
+	track             *core.DeliveryTracker // non-nil: -resume session state
+	tel               core.Telemetry
 }
 
 // subscribeLoop dials the broker and receives, redialing with capped
 // exponential backoff after transport errors until the retry budget is
 // spent. A connection that delivered at least one block resets the budget,
-// so a long-lived subscriber survives any number of isolated outages.
-func subscribeLoop(dst io.Writer, stats *recvStats, addr, channel string, timeout time.Duration, resync bool, reconnect int, verbose bool, tel core.Telemetry) error {
+// so a long-lived subscriber survives any number of isolated outages. With
+// o.track the delivery tracker outlives every connection, so reconnects
+// resume from the last delivered sequence and replayed duplicates are
+// suppressed — exactly-once delivery across the whole session.
+func subscribeLoop(dst io.Writer, stats *recvStats, o subOpts) error {
 	bo := netutil.Backoff{Min: netutil.DefaultBackoffMin, Max: 5 * time.Second}
 	retries := 0
 	for {
 		before := stats.blocks
-		err := subscribeOnce(dst, stats, addr, channel, timeout, resync, verbose, tel)
+		err := subscribeOnce(dst, stats, o)
 		if err == nil {
 			return nil // clean end of stream
 		}
@@ -159,32 +213,53 @@ func subscribeLoop(dst io.Writer, stats *recvStats, addr, channel string, timeou
 			bo.Reset()
 			retries = 0
 		}
-		if retries >= reconnect {
+		if retries >= o.reconnect {
 			return err
 		}
 		retries++
 		d := bo.Next()
-		fmt.Fprintf(os.Stderr, "ccrecv: %v; reconnecting in %v (%d/%d)\n", err, d, retries, reconnect)
+		fmt.Fprintf(os.Stderr, "ccrecv: %v; reconnecting in %v (%d/%d)\n", err, d, retries, o.reconnect)
 		time.Sleep(d)
 	}
 }
 
-func subscribeOnce(dst io.Writer, stats *recvStats, addr, channel string, timeout time.Duration, resync, verbose bool, tel core.Telemetry) error {
+func subscribeOnce(dst io.Writer, stats *recvStats, o subOpts) error {
 	var conn net.Conn
 	var err error
-	if timeout > 0 {
-		conn, err = net.DialTimeout("tcp", addr, timeout)
+	if o.timeout > 0 {
+		conn, err = net.DialTimeout("tcp", o.addr, o.timeout)
 	} else {
-		conn, err = net.Dial("tcp", addr)
+		conn, err = net.Dial("tcp", o.addr)
 	}
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	if err := broker.HandshakeSubscribe(netutil.WithTimeout(conn, timeout), channel); err != nil {
-		return fmt.Errorf("subscribe to %q: %w", channel, err)
+	hsConn := netutil.WithTimeout(conn, o.timeout)
+	resumed := false
+	if o.track != nil {
+		if last, started := o.track.LastDelivered(); started {
+			firstSeq, err := broker.HandshakeResume(hsConn, o.channel, last)
+			if err != nil {
+				return fmt.Errorf("resume %q from seq %d: %w", o.channel, last, err)
+			}
+			if firstSeq > last+1 {
+				gap := firstSeq - last - 1
+				o.track.NoteGap(gap)
+				o.track.SkipTo(firstSeq)
+				fmt.Fprintf(os.Stderr, "ccrecv: resume gap on %q: %d blocks evicted past the replay window, resuming at seq %d\n",
+					o.channel, gap, firstSeq)
+			}
+			fmt.Fprintf(os.Stderr, "resumed %q on %s after seq %d\n", o.channel, o.addr, last)
+			resumed = true
+		}
 	}
-	fmt.Fprintf(os.Stderr, "subscribed to %q on %s\n", channel, addr)
+	if !resumed {
+		if err := broker.HandshakeSubscribe(hsConn, o.channel); err != nil {
+			return fmt.Errorf("subscribe to %q: %w", o.channel, err)
+		}
+		fmt.Fprintf(os.Stderr, "subscribed to %q on %s\n", o.channel, o.addr)
+	}
 	// Ping so a broker enforcing read deadlines keeps us attached even
 	// when the channel is quiet; any bytes count, we send empty frames.
 	pingDone := make(chan struct{})
@@ -207,13 +282,21 @@ func subscribeOnce(dst io.Writer, stats *recvStats, addr, channel string, timeou
 			}
 		}
 	}()
-	return receive(conn, dst, stats, timeout, resync, verbose, tel)
+	// The watchdog is a rolling read deadline: a stalled-but-open link
+	// (peer alive at the TCP level, delivering nothing) times out like any
+	// other transport error and the loop redials instead of hanging.
+	readTO := o.timeout
+	if o.watchdog > 0 {
+		readTO = o.watchdog
+	}
+	return receive(conn, dst, stats, readTO, o.resync, o.verbose, o.tel, o.track)
 }
 
 // receive drains one connection into dst, optionally resynchronising past
-// corrupt frames instead of failing.
-func receive(conn net.Conn, dst io.Writer, stats *recvStats, timeout time.Duration, resync, verbose bool, tel core.Telemetry) error {
-	r := core.NewReader(netutil.WithTimeout(conn, timeout), nil, func(info codec.BlockInfo) {
+// corrupt frames instead of failing. A non-nil track suppresses replayed
+// duplicates and accounts sequence gaps.
+func receive(conn net.Conn, dst io.Writer, stats *recvStats, readTimeout time.Duration, resync, verbose bool, tel core.Telemetry, track *core.DeliveryTracker) error {
+	r := core.NewReader(netutil.WithTimeouts(conn, readTimeout, 0), nil, func(info codec.BlockInfo) {
 		stats.blocks++
 		stats.wire += int64(info.CompLen)
 		stats.orig += int64(info.OrigLen)
@@ -224,6 +307,9 @@ func receive(conn net.Conn, dst io.Writer, stats *recvStats, timeout time.Durati
 		}
 	})
 	r.SetTelemetry(tel)
+	if track != nil {
+		r.SetDeliveryTracker(track)
+	}
 	if resync {
 		r.SetCorruptHandler(func(err error) bool {
 			stats.corrupt++

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -84,6 +85,11 @@ const (
 	DefaultQueueLen         = 64
 	DefaultHeartbeat        = 10 * time.Second
 	DefaultHandshakeTimeout = 10 * time.Second
+	// DefaultReplayBlocks and DefaultReplayBytes bound a channel's replay
+	// ring when exactly one of the two limits is configured; with both zero,
+	// replay is disabled entirely.
+	DefaultReplayBlocks = 256
+	DefaultReplayBytes  = 8 << 20
 )
 
 // ErrClosed reports an operation on a shut-down broker.
@@ -99,6 +105,16 @@ type Config struct {
 	QueueLen int
 	// Policy picks the slow-subscriber behaviour on queue overflow.
 	Policy Policy
+	// ReplayBlocks and ReplayBytes bound each channel's replay ring: the
+	// window of recent blocks retained for loss-free resume (see
+	// HandshakeResume). A resuming subscriber whose last delivered sequence
+	// still falls inside the window is replayed every missed block; past the
+	// window it gets an explicit gap. Both zero disables replay (resumes are
+	// still accepted but can only join live); if exactly one is set the
+	// other takes its Default. Sequence numbers are stamped regardless, so
+	// receivers can always detect loss.
+	ReplayBlocks int
+	ReplayBytes  int64
 	// Engine is the per-subscriber adaptation template: every subscriber
 	// gets its own core.Engine built from this config (so SpeedScale,
 	// selector thresholds, and block size apply per path). The Registry is
@@ -143,8 +159,69 @@ type Broker struct {
 	pubs   map[net.Conn]struct{}
 	lns    map[net.Listener]struct{}
 
+	// chmu guards the channel-state map only; each channelState has its own
+	// lock ordered before b.mu (a state's lock may be held while taking
+	// b.mu, never the reverse).
+	chmu  sync.Mutex
+	chans map[string]*channelState
+
 	pubWG  sync.WaitGroup // publisher frame loops
 	connWG sync.WaitGroup // every connection goroutine
+}
+
+// channelState is the broker-side per-channel session state: the sequence
+// counter and replay window, plus the echo channel events fan out on.
+// st.mu serializes publishes with resume snapshots, which is what makes a
+// resume atomic: every block is either in the replay snapshot or delivered
+// through the live subscription, never both, never neither.
+type channelState struct {
+	mu   sync.Mutex
+	name string
+	ch   *echo.EventChannel
+	ring replayRing
+
+	seqGauge    *metrics.Gauge // chan.<name>.seq — last assigned sequence
+	depthBlocks *metrics.Gauge // chan.<name>.replay_blocks
+	depthBytes  *metrics.Gauge // chan.<name>.replay_bytes
+}
+
+// state returns (creating on first use) the named channel's session state.
+func (b *Broker) state(name string) *channelState {
+	b.chmu.Lock()
+	defer b.chmu.Unlock()
+	if st, ok := b.chans[name]; ok {
+		return st
+	}
+	st := &channelState{
+		name:        name,
+		ch:          b.domain.OpenChannel(name),
+		seqGauge:    b.met.Gauge(fmt.Sprintf("chan.%s.seq", name)),
+		depthBlocks: b.met.Gauge(fmt.Sprintf("chan.%s.replay_blocks", name)),
+		depthBytes:  b.met.Gauge(fmt.Sprintf("chan.%s.replay_bytes", name)),
+	}
+	st.ring.setBounds(b.cfg.ReplayBlocks, b.cfg.ReplayBytes)
+	b.chans[name] = st
+	return st
+}
+
+// submit stamps one event with the channel's next sequence number, retains
+// it in the replay window, and fans it out. The ring lock is held across
+// Submit so resume snapshots interleave atomically with publishes.
+func (b *Broker) submit(st *channelState, data []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	seq, evBlocks, evBytes := st.ring.stamp(data)
+	if evBlocks > 0 {
+		b.met.Counter("broker.replay_evicted_blocks").Add(int64(evBlocks))
+		b.met.Counter("broker.replay_evicted_bytes").Add(evBytes)
+	}
+	st.seqGauge.Set(int64(seq))
+	st.depthBlocks.Set(int64(st.ring.len()))
+	st.depthBytes.Set(st.ring.bytes)
+	return st.ch.Submit(echo.Event{
+		Data:  data,
+		Attrs: echo.Attributes{core.AttrSeq: strconv.FormatUint(seq, 10)},
+	})
 }
 
 // New validates cfg and returns a Broker ready to Serve or HandleConn.
@@ -169,6 +246,18 @@ func New(cfg Config) (*Broker, error) {
 		if name == "" || len(name) > MaxChannelName {
 			return nil, fmt.Errorf("broker: invalid channel name %q", name)
 		}
+	}
+	if cfg.ReplayBlocks < 0 || cfg.ReplayBytes < 0 {
+		return nil, fmt.Errorf("broker: negative replay bounds (%d blocks, %d bytes)",
+			cfg.ReplayBlocks, cfg.ReplayBytes)
+	}
+	// One configured bound enables replay with the other defaulted; both
+	// zero keeps replay off.
+	if cfg.ReplayBlocks > 0 && cfg.ReplayBytes == 0 {
+		cfg.ReplayBytes = DefaultReplayBytes
+	}
+	if cfg.ReplayBytes > 0 && cfg.ReplayBlocks == 0 {
+		cfg.ReplayBlocks = DefaultReplayBlocks
 	}
 	if cfg.Engine.Registry == nil {
 		cfg.Engine.Registry = codec.NewRegistry()
@@ -195,6 +284,7 @@ func New(cfg Config) (*Broker, error) {
 		subs:   make(map[int]*subscriber),
 		pubs:   make(map[net.Conn]struct{}),
 		lns:    make(map[net.Listener]struct{}),
+		chans:  make(map[string]*channelState),
 	}, nil
 }
 
@@ -239,7 +329,7 @@ func (b *Broker) Publish(channel string, data []byte) error {
 	copy(owned, data)
 	b.met.Counter("broker.events_in").Inc()
 	b.met.Counter("broker.bytes_in").Add(int64(len(owned)))
-	return b.domain.OpenChannel(channel).Submit(echo.Event{Data: owned})
+	return b.submit(b.state(channel), owned)
 }
 
 // Serve accepts connections on ln until the broker shuts down. It returns
@@ -271,9 +361,19 @@ func (b *Broker) Serve(ln net.Listener) error {
 
 // HandleConn adopts an established connection (any net.Conn — TCP, pipes,
 // netsim-shaped links) and runs its session asynchronously: handshake,
-// then the publisher frame loop or the subscriber fan-out loop.
+// then the publisher frame loop or the subscriber fan-out loop. A
+// connection handed to a broker that already shut down is closed.
 func (b *Broker) HandleConn(conn net.Conn) {
+	// The Add must be ordered against Shutdown's Wait via b.mu: once closed
+	// is set the counter may be zero and a bare Add would race the Wait.
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		conn.Close()
+		return
+	}
 	b.connWG.Add(1)
+	b.mu.Unlock()
 	go b.handle(conn)
 }
 
@@ -288,7 +388,7 @@ func (b *Broker) handle(conn net.Conn) {
 	}()
 
 	_ = conn.SetDeadline(time.Now().Add(b.cfg.HandshakeTimeout))
-	role, channel, err := readHandshake(conn)
+	hs, err := readHandshake(conn)
 	if err != nil {
 		// The peer is not speaking our protocol (and on a synchronous
 		// transport may still be mid-write), so reply nothing: just hang up.
@@ -296,14 +396,14 @@ func (b *Broker) handle(conn net.Conn) {
 		b.logf("broker: %v", err)
 		return
 	}
-	if err := b.channelAllowed(channel); err != nil {
+	if err := b.channelAllowed(hs.channel); err != nil {
 		_ = writeReply(conn, err)
 		conn.Close()
-		b.logf("broker: refused %c on %q: %v", role, channel, err)
+		b.logf("broker: refused %c on %q: %v", hs.role, hs.channel, err)
 		return
 	}
 
-	switch role {
+	switch hs.role {
 	case RolePublish:
 		b.mu.Lock()
 		if b.closed {
@@ -322,22 +422,33 @@ func (b *Broker) handle(conn net.Conn) {
 			return
 		}
 		_ = conn.SetDeadline(time.Time{})
-		b.logf("broker: publisher attached to %q", channel)
-		b.handlePublisher(conn, channel)
+		b.logf("broker: publisher attached to %q", hs.channel)
+		b.handlePublisher(conn, hs.channel)
 
-	case RoleSubscribe:
-		s, err := b.addSubscriber(conn, channel)
+	case RoleSubscribe, RoleResume:
+		resume := hs.role == RoleResume
+		s, firstSeq, err := b.addSubscriber(conn, hs.channel, resume, hs.lastSeq)
 		if err != nil {
 			_ = writeReply(conn, err)
 			conn.Close()
 			return
 		}
-		if err := writeReply(conn, nil); err != nil {
+		if resume {
+			err = writeResumeReply(conn, firstSeq)
+		} else {
+			err = writeReply(conn, nil)
+		}
+		if err != nil {
 			b.removeSub(s, false, "handshake reply failed")
 			return
 		}
 		_ = conn.SetDeadline(time.Time{})
-		b.logf("broker: subscriber %d attached to %q", s.id, channel)
+		if resume {
+			b.logf("broker: subscriber %d resumed %q from seq %d (replaying %d)",
+				s.id, hs.channel, hs.lastSeq, len(s.replay))
+		} else {
+			b.logf("broker: subscriber %d attached to %q", s.id, hs.channel)
+		}
 		b.connWG.Add(1)
 		go s.readDrain(b)
 		s.run(b)
@@ -376,7 +487,7 @@ func (b *Broker) channelAllowed(name string) error {
 // the next frame boundary, and keeps serving the survivors. Only transport
 // errors — truncation, timeouts, hangups — end the publisher session.
 func (b *Broker) handlePublisher(conn net.Conn, channel string) {
-	ch := b.domain.OpenChannel(channel)
+	st := b.state(channel)
 	rc := netutil.WithTimeouts(conn, b.cfg.ReadTimeout, 0)
 	fr := codec.NewFrameReader(rc, b.reg)
 	events := b.met.Counter("broker.events_in")
@@ -404,15 +515,18 @@ func (b *Broker) handlePublisher(conn net.Conn, channel string) {
 		}
 		events.Inc()
 		bytesIn.Add(int64(len(data)))
-		_ = ch.Submit(echo.Event{Data: data})
+		_ = b.submit(st, data)
 	}
 }
 
 // queuedEvent is one event waiting in a subscriber's outbound queue; the
-// enqueue stamp feeds the time-in-queue histogram on dequeue.
+// enqueue stamp feeds the time-in-queue histogram on dequeue. seq/hasSeq
+// carry the channel sequence number into the frame header.
 type queuedEvent struct {
-	data []byte
-	at   time.Time
+	data   []byte
+	at     time.Time
+	seq    uint64
+	hasSeq bool
 }
 
 // subscriber is one consumer connection with a private adaptation loop.
@@ -424,10 +538,11 @@ type subscriber struct {
 	engine  *core.Engine
 	echoSub *echo.Subscription
 
-	queue chan queuedEvent
-	drain chan struct{} // closed by Shutdown: flush queue, then hang up
-	quit  chan struct{} // closed on evict/teardown: exit immediately
-	once  sync.Once
+	queue  chan queuedEvent
+	replay []queuedEvent // resume backlog, sent before any live event
+	drain  chan struct{} // closed by Shutdown: flush queue, then hang up
+	quit   chan struct{} // closed on evict/teardown: exit immediately
+	once   sync.Once
 
 	enc    []byte // frame scratch buffer
 	blocks int    // ordinal of the next block, for trace records
@@ -441,13 +556,18 @@ type subscriber struct {
 	queueWait *metrics.Histogram
 }
 
-func (b *Broker) addSubscriber(conn net.Conn, channel string) (*subscriber, error) {
+// addSubscriber builds a subscriber session. For a resume it additionally
+// snapshots the replay backlog and reports the first sequence number the
+// session will deliver; snapshot, subscription, and registration happen
+// atomically with respect to publishes (the channel-state lock), so no
+// block can fall between the replay window and the live stream.
+func (b *Broker) addSubscriber(conn net.Conn, channel string, resume bool, lastSeq uint64) (*subscriber, uint64, error) {
 	// Reserve the subscriber's id first: the engine's telemetry stream
 	// label ("sub.<id>") needs it before the engine is built.
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	b.nextID++
 	id := b.nextID
@@ -461,12 +581,7 @@ func (b *Broker) addSubscriber(conn net.Conn, channel string) (*subscriber, erro
 	}
 	engine, err := core.NewEngine(ecfg)
 	if err != nil {
-		return nil, fmt.Errorf("broker: subscriber engine: %w", err)
-	}
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return nil, ErrClosed
+		return nil, 0, fmt.Errorf("broker: subscriber engine: %w", err)
 	}
 	s := &subscriber{
 		id:      id,
@@ -486,22 +601,84 @@ func (b *Broker) addSubscriber(conn net.Conn, channel string) (*subscriber, erro
 		ratio:     b.met.EWMA(fmt.Sprintf("sub.%d.ratio", id), 0),
 		queueWait: b.met.Histogram("broker.queue_wait_seconds", metrics.LatencyBuckets),
 	}
+
+	st := b.state(channel)
+	st.mu.Lock()
+	var firstSeq uint64
+	if resume {
+		var entries []ringEntry
+		entries, firstSeq = st.ring.replayFrom(lastSeq)
+		if len(entries) > 0 {
+			s.replay = make([]queuedEvent, len(entries))
+			now := time.Now()
+			for i, e := range entries {
+				s.replay[i] = queuedEvent{data: e.data, at: now, seq: e.seq, hasSeq: true}
+			}
+		}
+		b.noteResume(s, lastSeq, firstSeq, len(entries))
+	}
+	// Subscribe while still holding the channel lock: publishes are blocked,
+	// so the first live delivery is exactly the first block after the
+	// snapshot. The subscription must exist before s is published in b.subs
+	// (Shutdown cancels s.echoSub unconditionally).
+	echoSub := st.ch.Subscribe(func(ev echo.Event) {
+		s.enqueue(b, ev)
+	})
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		st.mu.Unlock()
+		echoSub.Cancel()
+		return nil, 0, ErrClosed
+	}
+	s.echoSub = echoSub
 	b.subs[id] = s
 	b.mu.Unlock()
+	st.mu.Unlock()
 	b.met.Gauge("broker.subscribers").Add(1)
-	s.echoSub = b.domain.OpenChannel(channel).Subscribe(func(ev echo.Event) {
-		s.enqueue(b, ev.Data)
-	})
-	return s, nil
+	return s, firstSeq, nil
+}
+
+// noteResume records one resume handshake in the metrics registry and the
+// decision trace. Caller holds the channel-state lock.
+func (b *Broker) noteResume(s *subscriber, lastSeq, firstSeq uint64, replayed int) {
+	b.met.Counter("broker.resumes").Inc()
+	b.met.Counter("broker.resume_replayed_blocks").Add(int64(replayed))
+	var gap uint64
+	// want wraps to 0 only for an absurd lastSeq of MaxUint64, which
+	// replayFrom already treats as fully caught up — no gap to report.
+	if want := lastSeq + 1; want != 0 && firstSeq > want {
+		gap = firstSeq - want
+	}
+	if gap > 0 {
+		b.met.Counter("broker.resume_gaps").Inc()
+		b.met.Counter("broker.resume_gap_blocks").Add(int64(gap))
+	}
+	if b.cfg.Trace != nil {
+		b.cfg.Trace.Add(obs.Record{
+			Stream:    fmt.Sprintf("sub.%d", s.id),
+			Resume:    true,
+			FrameSeq:  firstSeq,
+			GapBlocks: gap,
+			Reason: fmt.Sprintf("resume %q from seq %d: replaying %d, first live seq %d, gap %d",
+				s.channel, lastSeq, replayed, firstSeq, gap),
+		})
+	}
 }
 
 // enqueue runs in the publisher's goroutine (echo delivery is synchronous)
 // and must never block: a full queue triggers the slow-subscriber policy.
-func (s *subscriber) enqueue(b *Broker, data []byte) {
+func (s *subscriber) enqueue(b *Broker, e echo.Event) {
+	data := e.Data
 	if len(data) == 0 {
 		return
 	}
 	ev := queuedEvent{data: data, at: time.Now()}
+	if raw, ok := e.Attrs[core.AttrSeq]; ok {
+		if seq, err := strconv.ParseUint(raw, 10, 64); err == nil {
+			ev.seq, ev.hasSeq = seq, true
+		}
+	}
 	select {
 	case s.queue <- ev:
 		s.noteDepth()
@@ -551,6 +728,19 @@ func (s *subscriber) run(b *Broker) {
 		defer t.Stop()
 		hb = t.C
 	}
+	// Resume backlog first: replayed blocks all precede any live event in
+	// sequence order (the snapshot was atomic with the subscription).
+	for _, ev := range s.replay {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		if !s.send(b, ev) {
+			return
+		}
+	}
+	s.replay = nil
 	for {
 		select {
 		case <-s.quit:
@@ -597,7 +787,11 @@ func (s *subscriber) send(b *Broker, ev queuedEvent) bool {
 	} else {
 		s.queueWait.Observe(encStart.Sub(ev.at).Seconds())
 		dec = s.engine.Decide(data)
-		frame, info, err = codec.AppendFrame(s.enc[:0], b.reg, dec.Method, data)
+		if ev.hasSeq {
+			frame, info, err = codec.AppendFrameSeq(s.enc[:0], b.reg, dec.Method, data, ev.seq)
+		} else {
+			frame, info, err = codec.AppendFrame(s.enc[:0], b.reg, dec.Method, data)
+		}
 	}
 	encodeTime := time.Since(encStart)
 	if err != nil {

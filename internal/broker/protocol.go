@@ -13,11 +13,21 @@ import (
 // A client opens a TCP connection and sends one handshake:
 //
 //	magic "CCB" + version(1)
-//	role(1)              'P' = publish, 'S' = subscribe
+//	role(1)              'P' = publish, 'S' = subscribe, 'R' = resume
 //	channelLen(uvarint) channelName
+//	[lastSeq(uvarint)]   role 'R' only: last contiguously delivered seq
+//
+// Version 1 handshakes carry roles 'P' and 'S'; version 2 adds role 'R'
+// (resume), a subscription that also presents the last sequence number the
+// client delivered contiguously. The broker accepts both versions forever.
 //
 // The broker answers with a single status byte: 0 accepts the session, any
-// other value is followed by uvarint-length error text and a close.
+// other value is followed by uvarint-length error text and a close. For an
+// accepted resume the status byte is followed by one uvarint: the sequence
+// number of the first block this session will deliver. A client that asked
+// to resume from lastSeq reads a gap of (firstSeq - lastSeq - 1) blocks
+// when the broker's replay window no longer reaches back far enough — an
+// explicit, counted discontinuity rather than a silent skip.
 //
 // After acceptance the connection speaks the internal/codec frame format,
 // one logical event per frame:
@@ -26,18 +36,24 @@ import (
 //     publisher's own engine decided; the broker decodes to recover the
 //     original event bytes before fan-out);
 //   - subscribers receive frames from the broker, each compressed by that
-//     subscriber's private adaptation loop.
+//     subscriber's private adaptation loop. Blocks published through the
+//     broker carry per-channel sequence numbers in version-3 frames.
 //
 // Zero-length frames are keepalives in both directions and never carry
 // data. Subscribers may additionally write arbitrary bytes at any time;
 // the broker discards them but counts them as liveness (pings) against its
 // read timeout.
 const (
-	// ProtocolVersion is the handshake version byte.
+	// ProtocolVersion is the baseline handshake version byte.
 	ProtocolVersion = 1
-	// RolePublish and RoleSubscribe are the handshake role bytes.
+	// ProtocolVersionResume is the handshake version that introduces the
+	// resume role.
+	ProtocolVersionResume = 2
+	// RolePublish and RoleSubscribe are the handshake role bytes; RoleResume
+	// is a subscribe that presents resume state (version 2 handshakes only).
 	RolePublish   = 'P'
 	RoleSubscribe = 'S'
+	RoleResume    = 'R'
 	// MaxChannelName bounds the handshake channel-name length.
 	MaxChannelName = 255
 
@@ -59,68 +75,131 @@ var (
 // conn. On return the caller owns a frame stream to the broker: every
 // internal/codec frame written becomes one event on the named channel.
 func HandshakePublish(conn net.Conn, channel string) error {
-	return clientHandshake(conn, RolePublish, channel)
+	_, err := clientHandshake(conn, RolePublish, channel, 0)
+	return err
 }
 
 // HandshakeSubscribe performs the client half of a subscriber handshake on
 // conn. On return the broker streams internal/codec frames, one event per
 // frame; zero-length frames are heartbeats to be skipped.
 func HandshakeSubscribe(conn net.Conn, channel string) error {
-	return clientHandshake(conn, RoleSubscribe, channel)
+	_, err := clientHandshake(conn, RoleSubscribe, channel, 0)
+	return err
 }
 
-func clientHandshake(conn net.Conn, role byte, channel string) error {
+// HandshakeResume performs the client half of a resuming subscription:
+// channel plus the last sequence number the client delivered contiguously
+// (0 = nothing delivered yet). It returns the sequence number of the first
+// block the broker will send on this session; a firstSeq greater than
+// lastSeq+1 means the replay window was exceeded and firstSeq-lastSeq-1
+// blocks are irrecoverably gone — the caller should surface that gap, not
+// hide it.
+func HandshakeResume(conn net.Conn, channel string, lastSeq uint64) (firstSeq uint64, err error) {
+	return clientHandshake(conn, RoleResume, channel, lastSeq)
+}
+
+func clientHandshake(conn net.Conn, role byte, channel string, lastSeq uint64) (uint64, error) {
 	if channel == "" || len(channel) > MaxChannelName {
-		return fmt.Errorf("%w: channel name length %d out of [1,%d]",
+		return 0, fmt.Errorf("%w: channel name length %d out of [1,%d]",
 			ErrBadHandshake, len(channel), MaxChannelName)
 	}
-	msg := make([]byte, 0, 5+len(channel))
+	version := byte(ProtocolVersion)
+	if role == RoleResume {
+		version = ProtocolVersionResume
+	}
+	msg := make([]byte, 0, 15+len(channel))
 	msg = append(msg, handshakeMagic[:]...)
-	msg = append(msg, ProtocolVersion, role)
+	msg = append(msg, version, role)
 	msg = binary.AppendUvarint(msg, uint64(len(channel)))
 	msg = append(msg, channel...)
+	if role == RoleResume {
+		msg = binary.AppendUvarint(msg, lastSeq)
+	}
 	if _, err := conn.Write(msg); err != nil {
-		return fmt.Errorf("broker: handshake write: %w", err)
+		return 0, fmt.Errorf("broker: handshake write: %w", err)
 	}
 	var status [1]byte
 	if _, err := io.ReadFull(conn, status[:]); err != nil {
-		return fmt.Errorf("broker: handshake reply: %w", err)
+		return 0, fmt.Errorf("broker: handshake reply: %w", err)
 	}
 	if status[0] == statusOK {
-		return nil
+		if role != RoleResume {
+			return 0, nil
+		}
+		firstSeq, err := readUvarint(conn)
+		if err != nil {
+			return 0, fmt.Errorf("broker: resume reply: %w", err)
+		}
+		return firstSeq, nil
 	}
 	reason, err := readShortString(conn)
 	if err != nil {
-		return ErrRefused
+		return 0, ErrRefused
 	}
-	return fmt.Errorf("%w: %s", ErrRefused, reason)
+	return 0, fmt.Errorf("%w: %s", ErrRefused, reason)
+}
+
+// handshake is the parsed server half of a client hello.
+type handshake struct {
+	role    byte
+	channel string
+	// lastSeq is the resume point presented by a RoleResume client: the last
+	// sequence number it delivered contiguously (0 = none).
+	lastSeq uint64
 }
 
 // readHandshake parses the server half. It reads byte-at-a-time so no
 // stream data past the handshake is consumed.
-func readHandshake(r io.Reader) (role byte, channel string, err error) {
+func readHandshake(r io.Reader) (handshake, error) {
+	var hs handshake
 	var fixed [5]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
-		return 0, "", fmt.Errorf("%w: %v", ErrBadHandshake, err)
+		return hs, fmt.Errorf("%w: %v", ErrBadHandshake, err)
 	}
 	if fixed[0] != handshakeMagic[0] || fixed[1] != handshakeMagic[1] || fixed[2] != handshakeMagic[2] {
-		return 0, "", fmt.Errorf("%w: bad magic", ErrBadHandshake)
+		return hs, fmt.Errorf("%w: bad magic", ErrBadHandshake)
 	}
-	if fixed[3] != ProtocolVersion {
-		return 0, "", fmt.Errorf("%w: unsupported version %d", ErrBadHandshake, fixed[3])
+	version := fixed[3]
+	if version != ProtocolVersion && version != ProtocolVersionResume {
+		return hs, fmt.Errorf("%w: unsupported version %d", ErrBadHandshake, version)
 	}
-	role = fixed[4]
-	if role != RolePublish && role != RoleSubscribe {
-		return 0, "", fmt.Errorf("%w: unknown role %q", ErrBadHandshake, role)
+	hs.role = fixed[4]
+	switch hs.role {
+	case RolePublish, RoleSubscribe:
+	case RoleResume:
+		if version < ProtocolVersionResume {
+			return hs, fmt.Errorf("%w: role %q needs version %d",
+				ErrBadHandshake, hs.role, ProtocolVersionResume)
+		}
+	default:
+		return hs, fmt.Errorf("%w: unknown role %q", ErrBadHandshake, hs.role)
 	}
-	channel, err = readShortString(r)
+	channel, err := readShortString(r)
 	if err != nil {
-		return 0, "", fmt.Errorf("%w: channel name: %v", ErrBadHandshake, err)
+		return hs, fmt.Errorf("%w: channel name: %v", ErrBadHandshake, err)
 	}
 	if channel == "" {
-		return 0, "", fmt.Errorf("%w: empty channel name", ErrBadHandshake)
+		return hs, fmt.Errorf("%w: empty channel name", ErrBadHandshake)
 	}
-	return role, channel, nil
+	hs.channel = channel
+	if hs.role == RoleResume {
+		lastSeq, err := readUvarint(r)
+		if err != nil {
+			return hs, fmt.Errorf("%w: resume seq: %v", ErrBadHandshake, err)
+		}
+		hs.lastSeq = lastSeq
+	}
+	return hs, nil
+}
+
+// writeResumeReply sends the accept status followed by the first sequence
+// number the session will deliver.
+func writeResumeReply(w io.Writer, firstSeq uint64) error {
+	msg := make([]byte, 0, 11)
+	msg = append(msg, statusOK)
+	msg = binary.AppendUvarint(msg, firstSeq)
+	_, err := w.Write(msg)
+	return err
 }
 
 // writeReply sends the broker's accept/refuse status. A nil reason accepts.

@@ -12,7 +12,7 @@ import (
 // Frame header layout (see DESIGN.md §5):
 //
 //	magic(2) version(1) method(1) flags(1)
-//	origLen(uvarint) compLen(uvarint) crc32(4) payload(compLen)
+//	origLen(uvarint) compLen(uvarint) [seq(uvarint)] crc32(4) payload(compLen)
 //
 // The CRC (Castagnoli) coverage depends on the version byte:
 //
@@ -22,17 +22,25 @@ import (
 //   - version 2 (current): CRC over the header bytes preceding the CRC
 //     field *and* the payload, so a flipped method byte, length varint, or
 //     flag is caught exactly like a flipped payload byte.
+//   - version 3 (sequenced): identical to version 2 plus one uvarint
+//     sequence number between compLen and the CRC, stamped by transports
+//     that offer replay/resume (the fan-out broker). The seq varint is
+//     inside the CRC coverage.
 //
-// Writers emit version 2; readers accept both, so pre-CRC-extension frames
-// (and recorded streams) still decode.
+// Writers emit version 2 (or 3 via AppendFrameSeq); readers accept all
+// three, so pre-CRC-extension frames (and recorded streams) still decode.
 const (
 	magic0 = 0xEC // "ECho"-flavoured magic
 	magic1 = 0x40
-	// FrameVersion is the current wire version (header+payload CRC).
+	// FrameVersion is the current unsequenced wire version (header+payload
+	// CRC).
 	FrameVersion = 2
 	// FrameVersionV1 is the legacy wire version (payload-only CRC); readers
 	// still accept it.
 	FrameVersionV1 = 1
+	// FrameVersionSeq is the sequenced wire version: a v2 frame carrying a
+	// per-channel block sequence number for replay/resume transports.
+	FrameVersionSeq = 3
 	// MaxFrameLen bounds a single frame's original and compressed payload
 	// lengths (16 MiB), keeping hostile headers from driving huge
 	// allocations. It is exported so transports (the fan-out broker, the
@@ -80,6 +88,12 @@ type BlockInfo struct {
 	// Fallback reports whether the block fell back to raw transport because
 	// compression expanded it.
 	Fallback bool
+	// Seq is the per-channel block sequence number carried by sequenced
+	// (version-3) frames; HasSeq reports whether the frame carried one.
+	// Sequence numbers start at 1, so a zero Seq with HasSeq set never
+	// appears on a healthy stream.
+	Seq    uint64
+	HasSeq bool
 	// DecodeTime is the CPU time FrameReader.ReadBlock spent decompressing
 	// the payload (network wait excluded) — the decode-latency sample the
 	// telemetry layer histograms. Zero for frames produced by writers.
@@ -117,10 +131,22 @@ func NewFrameWriter(w io.Writer, reg *Registry) *FrameWriter {
 // raw and flagged (the paper's selector already avoids such blocks, but
 // the wire format guarantees we never expand traffic).
 func AppendFrame(dst []byte, reg *Registry, m Method, data []byte) ([]byte, BlockInfo, error) {
+	return appendFrame(dst, reg, m, data, 0, false)
+}
+
+// AppendFrameSeq is AppendFrame with a per-channel block sequence number:
+// it emits a version-3 frame whose header carries seq inside the CRC
+// coverage. Receivers surface it as BlockInfo.Seq/HasSeq, which feeds the
+// delivery tracker's dedup and gap accounting on resumed streams.
+func AppendFrameSeq(dst []byte, reg *Registry, m Method, data []byte, seq uint64) ([]byte, BlockInfo, error) {
+	return appendFrame(dst, reg, m, data, seq, true)
+}
+
+func appendFrame(dst []byte, reg *Registry, m Method, data []byte, seq uint64, hasSeq bool) ([]byte, BlockInfo, error) {
 	if reg == nil {
 		reg = defaultRegistry
 	}
-	info := BlockInfo{Method: m, Requested: m, OrigLen: len(data)}
+	info := BlockInfo{Method: m, Requested: m, OrigLen: len(data), Seq: seq, HasSeq: hasSeq}
 	c, err := reg.Get(m)
 	if err != nil {
 		return dst, info, err
@@ -138,10 +164,17 @@ func AppendFrame(dst []byte, reg *Registry, m Method, data []byte) ([]byte, Bloc
 	}
 	info.CompLen = len(payload)
 
+	version := byte(FrameVersion)
+	if hasSeq {
+		version = FrameVersionSeq
+	}
 	base := len(dst)
-	dst = append(dst, magic0, magic1, FrameVersion, byte(info.Method), flags)
+	dst = append(dst, magic0, magic1, version, byte(info.Method), flags)
 	dst = binary.AppendUvarint(dst, uint64(len(data)))
 	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	if hasSeq {
+		dst = binary.AppendUvarint(dst, seq)
+	}
 	crc := crc32.Update(0, castagnoli, dst[base:]) // header…
 	crc = crc32.Update(crc, castagnoli, payload)   // …then payload
 	dst = binary.LittleEndian.AppendUint32(dst, crc)
@@ -241,7 +274,7 @@ func (fr *FrameReader) ReadBlock() ([]byte, BlockInfo, error) {
 		return nil, info, ErrBadMagic
 	}
 	version := fixed[2]
-	if version != FrameVersion && version != FrameVersionV1 {
+	if version != FrameVersion && version != FrameVersionV1 && version != FrameVersionSeq {
 		return nil, info, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
 	info.Method = Method(fixed[3])
@@ -262,6 +295,13 @@ func (fr *FrameReader) ReadBlock() ([]byte, BlockInfo, error) {
 		return nil, info, ErrFrameSize
 	}
 	info.OrigLen, info.CompLen = int(origLen), int(compLen)
+	if version == FrameVersionSeq {
+		seq, err := fr.readUvarint()
+		if err != nil {
+			return nil, info, unexpectedEOF(err)
+		}
+		info.Seq, info.HasSeq = seq, true
+	}
 	// The v2 CRC covers exactly the header bytes consumed so far.
 	hdrCRC := crc32.Update(0, castagnoli, fr.hdr)
 	var crcBuf [4]byte
@@ -307,7 +347,7 @@ func (fr *FrameReader) ReadBlock() ([]byte, BlockInfo, error) {
 // matches inside compressed payloads; a false positive just yields another
 // ErrCorruptFrame and another Resync, each advancing past the bogus match.
 func plausibleBoundary(ver byte) bool {
-	return ver == FrameVersion || ver == FrameVersionV1
+	return ver == FrameVersion || ver == FrameVersionV1 || ver == FrameVersionSeq
 }
 
 // Resync abandons the current (corrupt) frame and scans forward for the

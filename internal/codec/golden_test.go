@@ -20,6 +20,11 @@ var goldenPayload = bytes.Repeat(
 
 var goldenMethods = []Method{None, Huffman, Arithmetic, LempelZiv, BurrowsWheeler}
 
+// goldenSeq is the sequence number stamped into the v3 vectors: large
+// enough to need a two-byte varint, so the seq field's wire width is pinned
+// too.
+const goldenSeq = 300
+
 func goldenName(version int, m Method) string {
 	name := m.String()
 	switch m {
@@ -32,10 +37,11 @@ func goldenName(version int, m Method) string {
 }
 
 // TestGoldenWireVectors pins the wire format: the checked-in frames (one
-// per method, in both the legacy v1 and current v2 header versions) must
-// decode byte-for-byte to goldenPayload forever. A refactor that changes
-// header layout, CRC coverage, varint encoding, or any decoder's view of a
-// valid stream fails here before it silently breaks cross-version peers.
+// per method, in the legacy v1, current v2, and sequenced v3 header
+// versions) must decode byte-for-byte to goldenPayload forever. A refactor
+// that changes header layout, CRC coverage, varint encoding, or any
+// decoder's view of a valid stream fails here before it silently breaks
+// cross-version peers.
 func TestGoldenWireVectors(t *testing.T) {
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -50,7 +56,11 @@ func TestGoldenWireVectors(t *testing.T) {
 			if info.Fallback {
 				t.Fatalf("%v fell back to raw; pick a more compressible golden payload", m)
 			}
-			for version, frame := range map[int][]byte{1: v1, 2: v2} {
+			v3, _, err := AppendFrameSeq(nil, nil, m, goldenPayload, goldenSeq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for version, frame := range map[int][]byte{1: v1, 2: v2, 3: v3} {
 				path := filepath.Join("testdata", goldenName(version, m))
 				if err := os.WriteFile(path, frame, 0o644); err != nil {
 					t.Fatal(err)
@@ -61,7 +71,7 @@ func TestGoldenWireVectors(t *testing.T) {
 	}
 
 	for _, m := range goldenMethods {
-		for _, version := range []int{1, 2} {
+		for _, version := range []int{1, 2, 3} {
 			name := goldenName(version, m)
 			t.Run(name, func(t *testing.T) {
 				frame, err := os.ReadFile(filepath.Join("testdata", name))
@@ -85,10 +95,18 @@ func TestGoldenWireVectors(t *testing.T) {
 				if m != None && info.CompLen >= info.OrigLen {
 					t.Fatalf("golden %v frame is not actually compressed", m)
 				}
+				if version == 3 {
+					if !info.HasSeq || info.Seq != goldenSeq {
+						t.Fatalf("v3 seq = (%d, %v), want (%d, true)", info.Seq, info.HasSeq, goldenSeq)
+					}
+				} else if info.HasSeq {
+					t.Fatalf("v%d frame decoded with a sequence number", version)
+				}
 
-				// The current writer must still emit the v2 vectors
+				// The current writers must still emit the v2/v3 vectors
 				// byte-for-byte (encoder wire stability).
-				if version == 2 {
+				switch version {
+				case 2:
 					enc, _, err := AppendFrame(nil, nil, m, goldenPayload)
 					if err != nil {
 						t.Fatal(err)
@@ -96,11 +114,20 @@ func TestGoldenWireVectors(t *testing.T) {
 					if !bytes.Equal(enc, frame) {
 						t.Fatal("AppendFrame no longer reproduces the golden v2 frame")
 					}
+				case 3:
+					enc, _, err := AppendFrameSeq(nil, nil, m, goldenPayload, goldenSeq)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(enc, frame) {
+						t.Fatal("AppendFrameSeq no longer reproduces the golden v3 frame")
+					}
 				}
 
-				// Integrity: for v2 vectors every byte before the payload end
-				// is CRC-protected; flip a header byte and a payload byte.
-				if version == 2 {
+				// Integrity: for v2+ vectors every byte before the payload end
+				// is CRC-protected; flip a header byte and a payload byte (for
+				// v3 the header flip lands inside the seq region's coverage).
+				if version >= 2 {
 					for _, at := range []int{3, len(frame) - 1} {
 						mut := append([]byte(nil), frame...)
 						mut[at] ^= 0x08

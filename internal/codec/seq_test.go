@@ -1,0 +1,128 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// TestAppendFrameSeqRoundtrip checks that sequenced frames carry their
+// sequence number through every method, across the varint width range.
+func TestAppendFrameSeqRoundtrip(t *testing.T) {
+	payload := bytes.Repeat([]byte("sequenced frame payload "), 32)
+	seqs := []uint64{1, 2, 127, 128, 1 << 20, math.MaxUint64}
+	for _, m := range []Method{None, Huffman, Arithmetic, LempelZiv, BurrowsWheeler} {
+		var wire []byte
+		for _, seq := range seqs {
+			frame, info, err := AppendFrameSeq(nil, nil, m, payload, seq)
+			if err != nil {
+				t.Fatalf("%v seq %d: %v", m, seq, err)
+			}
+			if !info.HasSeq || info.Seq != seq {
+				t.Fatalf("%v writer info seq = (%d, %v)", m, info.Seq, info.HasSeq)
+			}
+			wire = append(wire, frame...)
+		}
+		fr := NewFrameReader(bytes.NewReader(wire), nil)
+		for _, seq := range seqs {
+			data, info, err := fr.ReadBlock()
+			if err != nil {
+				t.Fatalf("%v read seq %d: %v", m, seq, err)
+			}
+			if !info.HasSeq || info.Seq != seq {
+				t.Fatalf("%v reader seq = (%d, %v), want %d", m, info.Seq, info.HasSeq, seq)
+			}
+			if !bytes.Equal(data, payload) {
+				t.Fatalf("%v seq %d payload mismatch", m, seq)
+			}
+		}
+		if _, _, err := fr.ReadBlock(); err != io.EOF {
+			t.Fatalf("%v trailing read = %v, want EOF", m, err)
+		}
+	}
+}
+
+// TestSeqFrameCRCCoversSeq flips each byte of the seq varint and expects
+// checksum failures: the sequence number is integrity-protected like every
+// other header field.
+func TestSeqFrameCRCCoversSeq(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 64)
+	frame, _, err := AppendFrameSeq(nil, nil, None, payload, 1<<40) // 6-byte varint
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header: magic(2) ver(1) method(1) flags(1) origLen(1) compLen(1),
+	// then the seq varint.
+	for at := 7; at < 13; at++ {
+		mut := append([]byte(nil), frame...)
+		mut[at] ^= 0x10
+		_, _, err := NewFrameReader(bytes.NewReader(mut), nil).ReadBlock()
+		if !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("flip seq byte %d: got %v, want ErrCorruptFrame", at, err)
+		}
+	}
+}
+
+// TestSeqFrameFallback: the raw-fallback path must preserve the sequence
+// number too.
+func TestSeqFrameFallback(t *testing.T) {
+	incompressible := make([]byte, 256)
+	for i := range incompressible {
+		incompressible[i] = byte(i * 151)
+	}
+	frame, winfo, err := AppendFrameSeq(nil, nil, BurrowsWheeler, incompressible, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !winfo.Fallback {
+		t.Skip("payload unexpectedly compressed; fallback path not exercised")
+	}
+	data, info, err := NewFrameReader(bytes.NewReader(frame), nil).ReadBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.HasSeq || info.Seq != 42 || !info.Fallback || info.Method != None {
+		t.Fatalf("info = %+v", info)
+	}
+	if !bytes.Equal(data, incompressible) {
+		t.Fatal("fallback payload mismatch")
+	}
+}
+
+// TestSeqFrameResync: a corrupted sequenced frame must still be skippable,
+// with Resync landing on the next (sequenced) boundary.
+func TestSeqFrameResync(t *testing.T) {
+	payload := bytes.Repeat([]byte("resync me "), 40)
+	var wire []byte
+	for seq := uint64(1); seq <= 3; seq++ {
+		frame, _, err := AppendFrameSeq(nil, nil, Huffman, payload, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire = append(wire, frame...)
+	}
+	wire[20] ^= 0xFF // damage frame 1's body
+	fr := NewFrameReader(bytes.NewReader(wire), nil)
+	var got []uint64
+	for {
+		_, info, err := fr.ReadBlock()
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, ErrCorruptFrame) {
+			if rerr := fr.Resync(); rerr != nil {
+				break
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, info.Seq)
+	}
+	if len(got) < 2 || got[len(got)-1] != 3 {
+		t.Fatalf("recovered seqs %v, want suffix ending at 3 with ≥2 survivors", got)
+	}
+}

@@ -23,6 +23,10 @@ const (
 	// AttrRequestMethod lets a consumer explicitly request a method change
 	// at the source (the paper's dynamic change instructions).
 	AttrRequestMethod = "ccx.request-method"
+	// AttrSeq carries a block's per-channel sequence number (decimal) on
+	// events flowing through a replay-capable transport such as the fan-out
+	// broker. Consumers use it for dedup and gap accounting across resumes.
+	AttrSeq = "ccx.seq"
 )
 
 // DeriveCompressed derives a new channel from src whose events carry

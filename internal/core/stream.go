@@ -107,9 +107,10 @@ type Reader struct {
 	onCorrupt func(error) bool
 	err       error
 
-	tel Telemetry
-	rx  *rxInstruments // nil unless SetTelemetry installed a registry
-	seq int            // ordinal of the next frame (healthy or corrupt)
+	tel   Telemetry
+	rx    *rxInstruments   // nil unless SetTelemetry installed a registry
+	seq   int              // ordinal of the next frame (healthy or corrupt)
+	track *DeliveryTracker // nil unless SetDeliveryTracker installed one
 }
 
 // NewReader returns a Reader over r. reg selects the codec set (nil =
@@ -125,6 +126,15 @@ func NewReader(r io.Reader, reg *codec.Registry, onBlock func(codec.BlockInfo)) 
 // transport errors are never offered to h: there is no stream left to
 // resync onto.
 func (r *Reader) SetCorruptHandler(h func(error) bool) { r.onCorrupt = h }
+
+// SetDeliveryTracker installs t, consulted for every sequenced (v3) frame:
+// replayed duplicates are suppressed (counted, not delivered) and sequence
+// discontinuities are accounted as explicit gaps — both surfaced through
+// the telemetry instruments and trace. The tracker outlives the Reader, so
+// a reconnecting consumer hands the same tracker to each new Reader and
+// gets exactly-once delivery across the whole session. Unsequenced (v1/v2)
+// frames pass through untouched.
+func (r *Reader) SetDeliveryTracker(t *DeliveryTracker) { r.track = t }
 
 // Read implements io.Reader.
 func (r *Reader) Read(p []byte) (int, error) {
@@ -150,6 +160,17 @@ func (r *Reader) Read(p []byte) (int, error) {
 			}
 			r.err = err
 			return 0, err
+		}
+		if r.track != nil && info.HasSeq {
+			deliver, gap := r.track.Observe(info.Seq)
+			if gap > 0 {
+				r.observeGap(info.Seq, gap)
+			}
+			if !deliver {
+				r.observeDup(info)
+				r.seq++
+				continue
+			}
 		}
 		r.observeBlock(info)
 		r.seq++

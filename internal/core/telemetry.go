@@ -124,6 +124,9 @@ type rxInstruments struct {
 	blockOut  *metrics.Histogram // ccx.rx_block_bytes
 	blocks    *metrics.Counter   // ccx.rx_blocks
 	corrupt   *metrics.Counter   // ccx.rx_corrupt_frames
+	dups      *metrics.Counter   // ccx.rx_dup_frames
+	gapEvents *metrics.Counter   // ccx.rx_gap_events
+	gapBlocks *metrics.Counter   // ccx.rx_gap_blocks
 	methods   [256]*metrics.Counter
 }
 
@@ -144,6 +147,9 @@ func (r *Reader) SetTelemetry(t Telemetry) {
 		blockOut:  t.Metrics.Histogram("ccx.rx_block_bytes", metrics.SizeBuckets),
 		blocks:    t.Metrics.Counter("ccx.rx_blocks"),
 		corrupt:   t.Metrics.Counter("ccx.rx_corrupt_frames"),
+		dups:      t.Metrics.Counter("ccx.rx_dup_frames"),
+		gapEvents: t.Metrics.Counter("ccx.rx_gap_events"),
+		gapBlocks: t.Metrics.Counter("ccx.rx_gap_blocks"),
 	}
 }
 
@@ -171,6 +177,41 @@ func (r *Reader) observeBlock(info codec.BlockInfo) {
 			Ratio:     info.Ratio(),
 			Fallback:  info.Fallback,
 			DecodeNs:  int64(info.DecodeTime),
+			FrameSeq:  info.Seq,
+		})
+	}
+}
+
+// observeDup records one replayed duplicate the delivery tracker
+// suppressed: counted and traced, never delivered.
+func (r *Reader) observeDup(info codec.BlockInfo) {
+	if r.rx != nil {
+		r.rx.dups.Inc()
+	}
+	if r.tel.Trace != nil {
+		r.tel.Trace.Add(obs.Record{
+			Stream:   r.tel.Stream,
+			Block:    r.seq,
+			Method:   info.Method.String(),
+			FrameSeq: info.Seq,
+			Dup:      true,
+		})
+	}
+}
+
+// observeGap records a sequence discontinuity: blocks blocks are known
+// lost immediately before the frame carrying seq.
+func (r *Reader) observeGap(seq, blocks uint64) {
+	if r.rx != nil {
+		r.rx.gapEvents.Inc()
+		r.rx.gapBlocks.Add(int64(blocks))
+	}
+	if r.tel.Trace != nil {
+		r.tel.Trace.Add(obs.Record{
+			Stream:    r.tel.Stream,
+			Block:     r.seq,
+			FrameSeq:  seq,
+			GapBlocks: blocks,
 		})
 	}
 }

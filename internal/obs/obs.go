@@ -69,6 +69,18 @@ type Record struct {
 	// checks and was skipped via resync; Err carries its error text.
 	Corrupt bool   `json:"corrupt,omitempty"`
 	Err     string `json:"err,omitempty"`
+
+	// Session/resume records. FrameSeq is the per-channel block sequence
+	// number stamped into sequenced (v3) frames. Resume marks a resume
+	// handshake (broker side: replay decision; receiver side: reconnect
+	// outcome). Dup marks a replayed duplicate the delivery tracker
+	// suppressed. GapBlocks counts blocks known lost at this point — evicted
+	// past the replay window or skipped on the wire — always reported,
+	// never silently swallowed.
+	FrameSeq  uint64 `json:"frame_seq,omitempty"`
+	Resume    bool   `json:"resume,omitempty"`
+	Dup       bool   `json:"dup,omitempty"`
+	GapBlocks uint64 `json:"gap_blocks,omitempty"`
 }
 
 // DefaultLogSize is the decision ring's default capacity.

@@ -15,9 +15,11 @@ import (
 
 	"ccx/internal/broker"
 	"ccx/internal/codec"
+	"ccx/internal/core"
 	"ccx/internal/datagen"
 	"ccx/internal/faultnet"
 	"ccx/internal/metrics"
+	"ccx/internal/netutil"
 )
 
 // dumpFaultMetrics appends one labeled JSON line with the case's final
@@ -227,6 +229,206 @@ func TestFaultMatrix(t *testing.T) {
 				}
 				runtime.GC()
 				time.Sleep(5 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestReconnectResume runs the resumable-session path under link faults:
+// the subscriber's first connection dies (abrupt TCP reset mid-stream, or
+// a mid-frame stall caught by a read watchdog), and the redial resumes
+// with the last contiguously delivered sequence. Invariants: every block
+// arrives exactly once, in order, byte-identical; zero duplicate sequences
+// reach the consumer; and when the replay window cannot cover the outage
+// the gap is explicit — counted on both broker and receiver — never a
+// silent skip.
+func TestReconnectResume(t *testing.T) {
+	const (
+		nBlocks   = 48
+		blockSize = 16 << 10
+	)
+	blocks := make([][]byte, nBlocks)
+	for i := range blocks {
+		b := datagen.OISTransactions(blockSize, 0.9, int64(100+i))
+		blocks[i] = b
+	}
+
+	cases := []struct {
+		name string
+		// plan shapes the subscriber's FIRST connection; redials are clean.
+		plan faultnet.Plan
+		// watchdog is the subscriber's rolling read deadline (0 = none).
+		watchdog time.Duration
+		// replayBlocks bounds the broker's replay window.
+		replayBlocks int
+		// wantGap: the window cannot cover the resume point; expect an
+		// explicit gap instead of full delivery.
+		wantGap bool
+	}{
+		{
+			name:         "abrupt_reset_midstream",
+			plan:         faultnet.Plan{ResetAt: 96 << 10, Seed: 11},
+			replayBlocks: 256,
+		},
+		{
+			name:         "midframe_stall_watchdog",
+			plan:         faultnet.Plan{StallAt: 96 << 10, Stall: 5 * time.Second, Seed: 13},
+			watchdog:     400 * time.Millisecond,
+			replayBlocks: 256,
+		},
+		{
+			name:         "window_overflow_reports_gap",
+			plan:         faultnet.Plan{}, // no fault: the gap comes from the tiny window
+			replayBlocks: 4,
+			wantGap:      true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			met := metrics.NewRegistry()
+			b, err := broker.New(broker.Config{
+				Channels:     []string{"md"},
+				Heartbeat:    -1,
+				ReplayBlocks: tc.replayBlocks,
+				ReplayBytes:  64 << 20,
+				Metrics:      met,
+				Logf:         func(string, ...any) {},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			serveDone := make(chan error, 1)
+			go func() { serveDone <- b.Serve(ln) }()
+
+			// Publish the whole stream up front: the replay window is the
+			// only path to the early blocks, exactly the resume scenario.
+			for _, blk := range blocks {
+				if err := b.Publish("md", blk); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Subscriber: resume-dial until the stream is complete, applying
+			// the fault plan to the first connection only (one outage).
+			track := new(core.DeliveryTracker)
+			delivered := make(map[uint64][]byte)
+			deliveredOrder := []uint64{}
+			var dupDelivered int
+			var gapFromHandshake uint64
+			wantLast := uint64(nBlocks)
+			for attempt := 0; attempt < 10; attempt++ {
+				if last, ok := track.LastDelivered(); ok && last >= wantLast {
+					break
+				}
+				err := func() error {
+					conn, err := net.Dial("tcp", ln.Addr().String())
+					if err != nil {
+						return err
+					}
+					defer conn.Close()
+					var link net.Conn = conn
+					if attempt == 0 && (tc.plan.ResetAt > 0 || tc.plan.StallAt > 0) {
+						link = faultnet.Wrap(conn, tc.plan)
+					}
+					last, _ := track.LastDelivered()
+					firstSeq, err := broker.HandshakeResume(link, "md", last)
+					if err != nil {
+						return err
+					}
+					if firstSeq > last+1 {
+						gap := firstSeq - last - 1
+						gapFromHandshake += gap
+						track.NoteGap(gap)
+						track.SkipTo(firstSeq)
+					}
+					fr := codec.NewFrameReader(netutil.WithTimeouts(link, tc.watchdog, 0), nil)
+					for {
+						data, info, err := fr.ReadBlock()
+						if err != nil {
+							return err
+						}
+						if len(data) == 0 {
+							continue
+						}
+						if !info.HasSeq {
+							t.Fatal("broker delivered an unsequenced event")
+						}
+						deliver, _ := track.Observe(info.Seq)
+						if !deliver {
+							continue
+						}
+						if _, seen := delivered[info.Seq]; seen {
+							dupDelivered++
+						}
+						delivered[info.Seq] = append([]byte(nil), data...)
+						deliveredOrder = append(deliveredOrder, info.Seq)
+						if info.Seq >= wantLast {
+							return nil
+						}
+					}
+				}()
+				if err == nil {
+					break
+				}
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := b.Shutdown(ctx); err != nil {
+				t.Fatalf("shutdown: %v", err)
+			}
+			if err := <-serveDone; err != nil {
+				t.Fatalf("serve: %v", err)
+			}
+			dumpFaultMetrics(t, "reconnect_"+tc.name, met)
+
+			// Exactly-once: no sequence may reach the consumer twice, and
+			// the delivered order must be strictly increasing.
+			if dupDelivered != 0 {
+				t.Fatalf("%d duplicate sequences delivered", dupDelivered)
+			}
+			for i := 1; i < len(deliveredOrder); i++ {
+				if deliveredOrder[i] <= deliveredOrder[i-1] {
+					t.Fatalf("out-of-order delivery: seq %d after %d",
+						deliveredOrder[i], deliveredOrder[i-1])
+				}
+			}
+			// Byte-identity for everything delivered.
+			for seq, data := range delivered {
+				if !bytes.Equal(data, blocks[seq-1]) {
+					t.Fatalf("block seq %d delivered with wrong bytes", seq)
+				}
+			}
+
+			st := track.Stats()
+			if tc.wantGap {
+				if gapFromHandshake == 0 || st.GapBlocks == 0 {
+					t.Fatal("window overflow produced no explicit gap")
+				}
+				if met.Counter("broker.resume_gaps").Value() == 0 {
+					t.Fatal("broker.resume_gaps stayed 0 across a window overflow")
+				}
+				// Everything still inside the window must have arrived.
+				if gapFromHandshake+uint64(len(delivered)) != nBlocks {
+					t.Fatalf("gap %d + delivered %d != %d blocks",
+						gapFromHandshake, len(delivered), nBlocks)
+				}
+			} else {
+				// The window covered the outage: loss-free, every block once.
+				if len(delivered) != nBlocks {
+					t.Fatalf("delivered %d of %d blocks across the reconnect",
+						len(delivered), nBlocks)
+				}
+				if st.GapBlocks != 0 {
+					t.Fatalf("tracker reports %d lost blocks on a loss-free resume", st.GapBlocks)
+				}
+				if met.Counter("broker.resumes").Value() == 0 {
+					t.Fatal("no resume handshake was counted")
+				}
 			}
 		})
 	}
