@@ -1,0 +1,33 @@
+GO      ?= go
+SHA     := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+BENCH_OUT ?= BENCH_$(SHA).json
+
+.PHONY: all build test race vet bench bench-baseline clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the pipeline benchmark suite and writes a machine-readable
+# artifact (ns/block, MB/s, allocs/op, memcpy-normalized throughput) named
+# after the commit under test. Set CCX_BENCH_BASELINE=bench/baseline.json
+# to also enforce the 15% normalized-throughput regression gate.
+bench:
+	CCX_BENCH_OUT=$(BENCH_OUT) CCX_BENCH_SHA=$(SHA) $(GO) test -run TestBenchArtifact -count=1 -v .
+
+# bench-baseline refreshes the committed baseline from this machine.
+bench-baseline:
+	CCX_BENCH_OUT=bench/baseline.json CCX_BENCH_SHA=$(SHA) $(GO) test -run TestBenchArtifact -count=1 -v .
+
+clean:
+	rm -f BENCH_*.json

@@ -42,6 +42,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -70,6 +71,7 @@ func run(args []string, stop chan struct{}) error {
 		queueLen = fs.Int("queue", broker.DefaultQueueLen, "bounded outbound queue per subscriber, in events")
 		policy   = fs.String("policy", "drop", "slow-subscriber policy: drop (oldest) | evict")
 		block    = fs.Int("block", 64<<10, "block size hint for per-subscriber compression engines")
+		workers  = fs.Int("workers", 0, "encode worker goroutines per subscriber; blocks compress in parallel but hit the wire in order (0 = GOMAXPROCS, 1 = sequential)")
 		hb       = fs.Duration("hb", broker.DefaultHeartbeat, "idle-link heartbeat interval (negative disables)")
 		rblocks  = fs.Int("replay-blocks", broker.DefaultReplayBlocks, "per-channel replay window for resuming subscribers, in blocks (0 with -replay-bytes 0 disables replay)")
 		rbytes   = fs.Int64("replay-bytes", broker.DefaultReplayBytes, "per-channel replay window for resuming subscribers, in bytes (0 with -replay-blocks 0 disables replay)")
@@ -124,6 +126,10 @@ func run(args []string, stop chan struct{}) error {
 	cfg.Engine.Selector = selector.DefaultConfig()
 	cfg.Engine.Selector.BlockSize = *block
 	cfg.Engine.SpeedScale = *speed
+	cfg.Engine.Workers = *workers
+	if cfg.Engine.Workers <= 0 {
+		cfg.Engine.Workers = runtime.GOMAXPROCS(0)
+	}
 	b, err := broker.New(cfg)
 	if err != nil {
 		return err

@@ -23,6 +23,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"time"
 
 	"ccx/internal/broker"
@@ -48,6 +49,7 @@ func run(args []string) error {
 		addr      = fs.String("addr", "127.0.0.1:9900", "receiver or broker address")
 		channel   = fs.String("channel", "", "publish into this ccbroker channel instead of a raw ccrecv peer")
 		blockSize = fs.Int("block", selector.DefaultBlockSize, "block size in bytes")
+		workers   = fs.Int("workers", 0, "encode worker goroutines; blocks are compressed in parallel but framed in order (0 = GOMAXPROCS, 1 = the sequential loop)")
 		timeout   = fs.Duration("timeout", 0, "dial timeout and per-operation I/O deadline (0 = none)")
 		fault     = fs.String("fault", "", `inject faults on the outbound stream for chaos testing, e.g. "flip=65536,seed=7" (see internal/faultnet)`)
 		debug     = fs.String("debug", "", "serve /metrics, /debug/vars, /debug/decisions, and /debug/pprof on this HTTP address (empty disables)")
@@ -88,7 +90,11 @@ func run(args []string) error {
 			Stream:  "send",
 		}
 	}
-	engine, err := core.NewEngine(core.Config{Selector: cfg, Telemetry: tel})
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	engine, err := core.NewEngine(core.Config{Selector: cfg, Telemetry: tel, Workers: nw})
 	if err != nil {
 		return err
 	}

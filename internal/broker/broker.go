@@ -713,8 +713,16 @@ func (s *subscriber) noteDepth() {
 	s.depthHWM.SetMax(d)
 }
 
-// run is the subscriber's write loop: dequeue, adapt, frame, send.
+// run is the subscriber's write loop: dequeue, adapt, frame, send. With
+// Engine.Workers > 1 the loop hands blocks to a core.Pipeline instead,
+// which compresses them concurrently while writing frames strictly in
+// queue order — sequence numbers and replay semantics are byte-for-byte
+// what the sequential loop produces.
 func (s *subscriber) run(b *Broker) {
+	if s.engine.Workers() > 1 {
+		s.runPipelined(b)
+		return
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			b.met.Counter("broker.panics").Inc()
@@ -764,6 +772,105 @@ func (s *subscriber) run(b *Broker) {
 			}
 		case <-hb:
 			if !s.send(b, queuedEvent{}) {
+				return
+			}
+		}
+	}
+}
+
+// runPipelined is run's parallel variant: dequeued events are submitted to
+// a bounded worker pool (core.Pipeline) that runs Decide + encode
+// concurrently, while the pipeline's sequencer writes frames to the
+// connection strictly in submission order. Heartbeats ride through the same
+// pipeline, so the connection only ever sees whole frames. Write errors
+// surface on the next Submit (at the latest, on the next heartbeat tick),
+// where the subscriber is evicted exactly like the sequential loop does.
+func (s *subscriber) runPipelined(b *Broker) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.met.Counter("broker.panics").Inc()
+			b.logf("broker: subscriber %d panic: %v", s.id, r)
+		}
+		b.removeSub(s, false, "write loop exit")
+	}()
+	send := func(frame []byte) (time.Duration, error) {
+		start := time.Now()
+		if _, err := s.wc.Write(frame); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	p := core.NewPipeline(s.engine, send, s.engine.Workers(), func(r core.BlockResult) {
+		// Per-subscriber accounting, mirroring the sequential send path.
+		// Monitor feedback and engine telemetry already happened inside the
+		// pipeline's sequencer.
+		s.bytesIn.Add(int64(r.Info.OrigLen))
+		s.bytesOut.Add(int64(r.WireBytes))
+		s.ratio.Observe(r.Info.Ratio())
+		b.met.Counter(fmt.Sprintf("sub.%d.method.%s", s.id, r.Info.Method)).Inc()
+		s.blocks++
+	})
+	defer p.Close()
+	submit := func(ev queuedEvent) bool {
+		var err error
+		if len(ev.data) == 0 {
+			err = p.Submit(nil) // heartbeat
+		} else {
+			s.queueWait.Observe(time.Since(ev.at).Seconds())
+			if ev.hasSeq {
+				err = p.SubmitSeq(ev.data, ev.seq)
+			} else {
+				err = p.Submit(ev.data)
+			}
+		}
+		if err != nil {
+			b.logf("broker: subscriber %d pipeline: %v", s.id, err)
+			b.removeSub(s, true, "write failed or timed out")
+			return false
+		}
+		return true
+	}
+	var hb <-chan time.Time
+	if b.cfg.Heartbeat > 0 {
+		t := time.NewTicker(b.cfg.Heartbeat)
+		defer t.Stop()
+		hb = t.C
+	}
+	for _, ev := range s.replay {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		if !submit(ev) {
+			return
+		}
+	}
+	s.replay = nil
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.drain:
+			for {
+				select {
+				case ev := <-s.queue:
+					if !submit(ev) {
+						return
+					}
+				default:
+					// The deferred Close flushes every in-flight block before
+					// the connection is torn down.
+					return
+				}
+			}
+		case ev := <-s.queue:
+			s.depth.Set(int64(len(s.queue)))
+			if !submit(ev) {
+				return
+			}
+		case <-hb:
+			if !submit(queuedEvent{}) {
 				return
 			}
 		}

@@ -58,6 +58,20 @@ func (m Method) String() string {
 
 // Codec compresses and decompresses byte blocks. Implementations must be
 // safe for concurrent use.
+//
+// Buffer-ownership contract (load-bearing for the parallel pipeline, which
+// recycles frame buffers through a sync.Pool and encodes many blocks
+// concurrently):
+//
+//   - Compress must return a slice that aliases neither src nor any state
+//     retained by the codec: the caller owns the returned bytes outright and
+//     may mutate them, while src stays the caller's to reuse immediately.
+//   - Decompress must likewise return a slice independent of src — the
+//     framing layer hands it a scratch buffer that is overwritten by the
+//     next frame.
+//
+// codec's aliasing tests (TestEncodeAliasing/TestDecodeAliasing) enforce
+// both rules for every registered method.
 type Codec interface {
 	// Method returns the codec's wire identifier.
 	Method() Method
@@ -84,19 +98,34 @@ func (c funcCodec) Decompress(src []byte, origLen int) ([]byte, error) {
 	return c.decomp(src, origLen)
 }
 
-func noneCompress(src []byte) ([]byte, error) {
+// rawCodec is the built-in None method. It is a named type (not a
+// funcCodec) so the framing layer can recognize the genuine raw codec and
+// skip the copy-through-Compress entirely, appending the block straight
+// into the frame buffer — one whole block-size allocation saved per raw
+// block, which matters because None is the default on fast links. A custom
+// codec registered under the None identifier is a different type and takes
+// the general path.
+type rawCodec struct{}
+
+func (rawCodec) Method() Method { return None }
+
+func (rawCodec) Compress(src []byte) ([]byte, error) {
 	if len(src) == 0 {
 		return nil, nil
 	}
+	// The copy keeps the Codec contract: the returned slice must not alias
+	// src. The framing layer's fast path avoids this copy.
 	out := make([]byte, len(src))
 	copy(out, src)
 	return out, nil
 }
 
-func noneDecompress(src []byte, origLen int) ([]byte, error) {
+func (rawCodec) Decompress(src []byte, origLen int) ([]byte, error) {
 	if len(src) != origLen {
 		return nil, fmt.Errorf("codec: raw block length %d != declared %d", len(src), origLen)
 	}
+	// src is the FrameReader's scratch buffer, overwritten by the next
+	// frame: the copy is what makes the returned block the caller's own.
 	out := make([]byte, len(src))
 	copy(out, src)
 	return out, nil
@@ -120,7 +149,7 @@ func NewRegistry() *Registry {
 
 func builtin() []Codec {
 	return []Codec{
-		funcCodec{None, noneCompress, noneDecompress},
+		rawCodec{},
 		funcCodec{Huffman, huffman.Compress, huffman.Decompress},
 		funcCodec{Arithmetic, arith.Compress, arith.Decompress},
 		funcCodec{LempelZiv, lz.Compress, lz.Decompress},

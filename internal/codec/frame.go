@@ -151,16 +151,25 @@ func appendFrame(dst []byte, reg *Registry, m Method, data []byte, seq uint64, h
 	if err != nil {
 		return dst, info, err
 	}
-	payload, err := c.Compress(data)
-	if err != nil {
-		return dst, info, fmt.Errorf("compress %v: %w", m, err)
-	}
+	var payload []byte
 	flags := byte(0)
-	if m != None && len(payload) >= len(data) {
+	if _, raw := c.(rawCodec); raw {
+		// The genuine raw codec copies src only to satisfy the Codec
+		// aliasing contract; here the payload is immediately copied into the
+		// frame, so the block serves as the payload directly and the
+		// intermediate allocation disappears.
 		payload = data
-		info.Method = None
-		info.Fallback = true
-		flags |= FlagFallback
+	} else {
+		payload, err = c.Compress(data)
+		if err != nil {
+			return dst, info, fmt.Errorf("compress %v: %w", m, err)
+		}
+		if m != None && len(payload) >= len(data) {
+			payload = data
+			info.Method = None
+			info.Fallback = true
+			flags |= FlagFallback
+		}
 	}
 	info.CompLen = len(payload)
 

@@ -50,6 +50,13 @@ type Config struct {
 	// Now supplies timestamps for probe and compression timing; nil means
 	// time.Now. Experiments inject virtual clocks for determinism.
 	Now func() time.Time
+	// Workers sets the encode worker-pool size used by Session.Stream/
+	// StreamBlocks, core.Writer, and the broker's per-subscriber loops.
+	// 0 or 1 keeps the paper's sequential loop (probe-ahead overlap and
+	// all); >1 routes blocks through a core.Pipeline, which compresses
+	// them concurrently while emitting frames strictly in block order.
+	// Negative is invalid.
+	Workers int
 	// Telemetry wires the engine into the observability plane (histograms
 	// and per-block decision traces). The zero value disables all
 	// instrumentation at no hot-path cost.
@@ -67,6 +74,8 @@ type Engine struct {
 	now    func() time.Time
 	tel    Telemetry
 	tx     *txInstruments // nil unless Telemetry.Metrics is set
+
+	workers int
 
 	mu      sync.Mutex
 	pending chan sampling.ProbeResult
@@ -93,6 +102,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if policy == nil {
 		policy = selector.RatioPolicy{Config: sel}
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: negative worker count %d", cfg.Workers)
+	}
 	e := &Engine{
 		sel:    sel,
 		policy: policy,
@@ -103,8 +115,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 			SpeedScale: cfg.SpeedScale,
 			Now:        now,
 		},
-		now: now,
-		tel: cfg.Telemetry,
+		now:     now,
+		tel:     cfg.Telemetry,
+		workers: cfg.Workers,
 	}
 	if cfg.Telemetry.Metrics != nil {
 		e.tx = newTxInstruments(cfg.Telemetry.Metrics, reg)
@@ -114,6 +127,14 @@ func NewEngine(cfg Config) (*Engine, error) {
 
 // BlockSize returns the configured transmission block size.
 func (e *Engine) BlockSize() int { return e.sel.BlockSize }
+
+// Workers returns the effective encode worker-pool size (1 = sequential).
+func (e *Engine) Workers() int {
+	if e.workers > 1 {
+		return e.workers
+	}
+	return 1
+}
 
 // Monitor exposes the goodput monitor (receivers' acceptance rate feeds it).
 func (e *Engine) Monitor() *bwmon.Monitor { return e.mon }
@@ -177,6 +198,13 @@ type BlockResult struct {
 	SendTime time.Duration
 	// WireBytes is the full frame size on the wire, header included.
 	WireBytes int
+	// Workers is the encode-pool size that produced the block (1 = the
+	// sequential loop, >1 = a core.Pipeline).
+	Workers int
+	// PipelineWait is how long the in-order sequencer stalled waiting for
+	// this block's encode to finish (0 in the sequential loop; near-zero
+	// when the pipeline is keeping up).
+	PipelineWait time.Duration
 }
 
 // SendFunc transmits one encoded frame and reports how long the transfer
@@ -206,7 +234,7 @@ func NewSession(e *Engine) *Session {
 // process before sending and joins it after.
 func (s *Session) TransmitBlock(block, next []byte, send SendFunc) (BlockResult, error) {
 	e := s.e
-	res := BlockResult{Index: s.index}
+	res := BlockResult{Index: s.index, Workers: 1}
 	s.index++
 
 	res.Decision = e.Decide(block)
@@ -254,8 +282,14 @@ func (s *Session) Stream(data []byte, send SendFunc, onBlock func(BlockResult)) 
 	return s.StreamBlocks(blocks, send, onBlock)
 }
 
-// StreamBlocks transmits pre-cut blocks in order.
+// StreamBlocks transmits pre-cut blocks in order. With Config.Workers > 1
+// the blocks are compressed concurrently on a pipeline while frames still
+// hit the wire strictly in block order; the sequential path below keeps the
+// paper's probe-ahead overlap.
 func (s *Session) StreamBlocks(blocks [][]byte, send SendFunc, onBlock func(BlockResult)) ([]BlockResult, error) {
+	if s.e.workers > 1 {
+		return s.streamPipelined(blocks, send, onBlock)
+	}
 	results := make([]BlockResult, 0, len(blocks))
 	for i, block := range blocks {
 		var next []byte

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ccx/internal/codec"
+)
+
+// Pipeline runs the engine's per-block loop on a bounded worker pool: each
+// worker executes Engine.Decide plus the frame encode on its own block while
+// a sequencer emits the finished frames strictly in submission order. The
+// wire stream is therefore byte-identical to the sequential Session's output
+// for the same sequence of method decisions — v3 sequence numbers, the
+// broker's replay ring, and resume semantics are all untouched, because
+// nothing downstream can tell the frames were compressed out of order.
+//
+// The paper treats compression CPU cost as the bottleneck that forces the
+// selector toward weaker methods; block-structured formats parallelize
+// trivially (each block's code tables are self-contained), so on multi-core
+// senders the pipeline multiplies the available "reducing speed" without
+// changing what crosses the wire.
+//
+// Concurrency contract: Submit/SubmitSeq/Close are single-owner calls — one
+// goroutine drives the pipeline, the internal workers provide parallelism
+// (matching io.Writer convention). Err may be called from anywhere.
+//
+// Buffer ownership: Submit does NOT copy the block. The caller must not
+// mutate it until its BlockResult has been emitted (onBlock fired) or Close
+// returned. Frames are encoded into sync.Pool-recycled buffers owned by the
+// pipeline; the send function must not retain the frame slice past its
+// return.
+//
+// Probing: workers do not use the paper's probe-ahead overlap (Engine's
+// pending-probe slot is a per-stream scalar, meaningless with several
+// blocks in flight). Each Decide probes its own block synchronously on the
+// worker, so probe cost parallelizes along with the encode.
+type Pipeline struct {
+	e       *Engine
+	send    SendFunc
+	onBlock func(BlockResult)
+	workers int
+
+	jobs  chan pipeJob
+	order chan chan pipeResult
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	bufs sync.Pool // *[]byte frame scratch, recycled across blocks
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+	index  int // ordinal of the next submitted block
+}
+
+type pipeJob struct {
+	index  int
+	block  []byte
+	seq    uint64
+	hasSeq bool
+	hb     bool // heartbeat: empty None frame, no telemetry
+	out    chan pipeResult
+}
+
+type pipeResult struct {
+	res   BlockResult
+	frame []byte
+	buf   *[]byte
+	hb    bool
+	err   error
+}
+
+// ErrPipelineClosed reports Submit after Close.
+var ErrPipelineClosed = errors.New("core: pipeline is closed")
+
+// NewPipeline starts a pipeline over e that transmits frames through send
+// (in submission order, from a single sequencer goroutine). workers <= 0
+// means GOMAXPROCS. onBlock, when non-nil, observes every emitted block in
+// order; it runs on the sequencer goroutine, so it must not block the
+// stream for long.
+func NewPipeline(e *Engine, send SendFunc, workers int, onBlock func(BlockResult)) *Pipeline {
+	return newPipeline(e, send, workers, 0, onBlock)
+}
+
+func newPipeline(e *Engine, send SendFunc, workers, baseIndex int, onBlock func(BlockResult)) *Pipeline {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pipeline{
+		e:       e,
+		send:    send,
+		onBlock: onBlock,
+		workers: workers,
+		jobs:    make(chan pipeJob),
+		order:   make(chan chan pipeResult, workers*2),
+		done:    make(chan struct{}),
+		index:   baseIndex,
+	}
+	p.bufs.New = func() any { return new([]byte) }
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	go p.emit()
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pipeline) Workers() int { return p.workers }
+
+// Submit enqueues one block for compression and in-order transmission. An
+// empty (or nil) block is sent as a zero-length None frame — the heartbeat
+// convention — bypassing the selector and telemetry. Submit is asynchronous;
+// errors from earlier blocks surface on later Submits or on Close.
+func (p *Pipeline) Submit(block []byte) error { return p.submit(block, 0, false) }
+
+// SubmitSeq is Submit with a per-channel block sequence number: the frame
+// is emitted in version-3 format carrying seq (see codec.AppendFrameSeq).
+func (p *Pipeline) SubmitSeq(block []byte, seq uint64) error {
+	return p.submit(block, seq, true)
+}
+
+func (p *Pipeline) submit(block []byte, seq uint64, hasSeq bool) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPipelineClosed
+	}
+	if p.err != nil {
+		err := p.err
+		p.mu.Unlock()
+		return err
+	}
+	job := pipeJob{
+		block:  block,
+		seq:    seq,
+		hasSeq: hasSeq,
+		hb:     len(block) == 0,
+		out:    make(chan pipeResult, 1),
+	}
+	if !job.hb {
+		job.index = p.index
+		p.index++
+	}
+	p.mu.Unlock()
+	if ins := p.e.tx; ins != nil {
+		ins.pipeDepth.Add(1)
+	}
+	// The order channel fixes the emission sequence before the job races
+	// the worker pool; its bound (2×workers) is the pipeline depth.
+	p.order <- job.out
+	p.jobs <- job
+	return nil
+}
+
+// Err returns the first compression or transmission error, if any.
+func (p *Pipeline) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Close waits for every submitted block to be compressed and transmitted,
+// stops the workers, and returns the first error encountered. It is
+// idempotent.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		err := p.err
+		p.mu.Unlock()
+		return err
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.jobs)
+	p.wg.Wait()
+	close(p.order)
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		job.out <- p.encode(job)
+	}
+}
+
+// encode runs one block's Decide + frame encode on the calling worker,
+// into a pooled buffer.
+func (p *Pipeline) encode(job pipeJob) pipeResult {
+	e := p.e
+	bufp := p.bufs.Get().(*[]byte)
+	if job.hb {
+		frame, _, err := codec.AppendFrame((*bufp)[:0], e.reg, codec.None, nil)
+		return pipeResult{frame: frame, buf: bufp, hb: true, err: err}
+	}
+	res := BlockResult{Index: job.index, Workers: p.workers}
+	res.Decision = e.Decide(job.block)
+	start := e.now()
+	var (
+		frame []byte
+		err   error
+	)
+	if job.hasSeq {
+		frame, res.Info, err = codec.AppendFrameSeq((*bufp)[:0], e.reg, res.Decision.Method, job.block, job.seq)
+	} else {
+		frame, res.Info, err = codec.AppendFrame((*bufp)[:0], e.reg, res.Decision.Method, job.block)
+	}
+	res.CompressTime = e.now().Sub(start)
+	if scale := e.smp.SpeedScale; scale > 0 && scale != 1 {
+		res.CompressTime = time.Duration(float64(res.CompressTime) * scale)
+	}
+	if err != nil {
+		return pipeResult{buf: bufp, err: fmt.Errorf("core: encode block %d: %w", res.Index, err)}
+	}
+	res.WireBytes = len(frame)
+	return pipeResult{res: res, frame: frame, buf: bufp}
+}
+
+// emit is the sequencer: it drains results strictly in submission order,
+// transmits each frame, and feeds the realized outcome back into the
+// monitor and telemetry — the same end-to-end feedback the sequential loop
+// produces, just decoupled from the encode.
+func (p *Pipeline) emit() {
+	defer close(p.done)
+	for out := range p.order {
+		waitStart := time.Now()
+		r := <-out
+		wait := time.Since(waitStart)
+		if ins := p.e.tx; ins != nil {
+			ins.pipeDepth.Add(-1)
+			ins.pipeWait.ObserveDuration(wait)
+		}
+		p.mu.Lock()
+		failed := p.err != nil
+		if !failed && r.err != nil {
+			p.err = r.err
+			failed = true
+		}
+		p.mu.Unlock()
+		if failed {
+			p.recycle(r)
+			continue // drain the remaining in-flight results without sending
+		}
+		d, err := p.send(r.frame)
+		if err != nil {
+			p.mu.Lock()
+			if r.hb {
+				p.err = fmt.Errorf("core: send heartbeat: %w", err)
+			} else {
+				p.err = fmt.Errorf("core: send block %d: %w", r.res.Index, err)
+			}
+			p.mu.Unlock()
+			p.recycle(r)
+			continue
+		}
+		if !r.hb {
+			r.res.SendTime = d
+			r.res.PipelineWait = wait
+			p.e.mon.Observe(len(r.frame), d)
+			p.e.ObserveBlock(r.res)
+			if p.onBlock != nil {
+				p.onBlock(r.res)
+			}
+		}
+		p.recycle(r)
+	}
+}
+
+// recycle returns a result's frame buffer to the pool, keeping the larger
+// array when the encode outgrew the pooled one.
+func (p *Pipeline) recycle(r pipeResult) {
+	if r.buf == nil {
+		return
+	}
+	if cap(r.frame) > cap(*r.buf) {
+		*r.buf = r.frame[:0]
+	}
+	p.bufs.Put(r.buf)
+}
+
+// streamPipelined is StreamBlocks' parallel path: it feeds the pre-cut
+// blocks through a fresh pipeline and collects the in-order results.
+func (s *Session) streamPipelined(blocks [][]byte, send SendFunc, onBlock func(BlockResult)) ([]BlockResult, error) {
+	results := make([]BlockResult, 0, len(blocks))
+	p := newPipeline(s.e, send, s.e.workers, s.index, func(r BlockResult) {
+		results = append(results, r)
+		if onBlock != nil {
+			onBlock(r)
+		}
+	})
+	for _, block := range blocks {
+		if err := p.Submit(block); err != nil {
+			break // the first error also comes out of Close
+		}
+	}
+	err := p.Close()
+	s.index += len(results)
+	return results, err
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"ccx/internal/codec"
+	"ccx/internal/datagen"
+	"ccx/internal/faultnet"
+	"ccx/internal/metrics"
+	"ccx/internal/obs"
+	"ccx/internal/selector"
+)
+
+// spreadPolicy keys the method choice on content-derived probe inputs only
+// (entropy, repetition, probe ratio, block length) — never on timing — so
+// the decision for a given block is identical no matter which worker runs
+// it or when. That makes N-worker output provably byte-identical to the
+// 1-worker output, which is what the pipeline's ordering tests assert.
+type spreadPolicy struct{}
+
+func (spreadPolicy) Name() string { return "spread" }
+
+func (spreadPolicy) Select(in selector.Inputs) selector.Decision {
+	methods := []codec.Method{codec.None, codec.Huffman, codec.Arithmetic, codec.LempelZiv, codec.BurrowsWheeler}
+	k := in.BlockLen + int(in.Entropy*4096) + int(in.Repetition*4096) + int(in.ProbeRatio*4096)
+	return selector.Decision{Method: methods[k%len(methods)], Inputs: in}
+}
+
+// pipelineCorpus builds a seeded stream mixing the shapes that drive every
+// codec down a different path: long runs, incompressible noise, and
+// repetitive text.
+func pipelineCorpus(t testing.TB, size int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 0, size)
+	text := datagen.OISTransactions(size/3, 0.9, 11)
+	data = append(data, text...)
+	runs := make([]byte, size/3)
+	for i := range runs {
+		runs[i] = byte(i / 997)
+	}
+	data = append(data, runs...)
+	noise := make([]byte, size-len(data))
+	rng.Read(noise)
+	data = append(data, noise...)
+	return data
+}
+
+func pipelineEngine(t testing.TB, workers, blockSize int, tel Telemetry) *Engine {
+	t.Helper()
+	cfg := selector.DefaultConfig()
+	cfg.BlockSize = blockSize
+	e, err := NewEngine(Config{
+		Selector:  cfg,
+		Policy:    spreadPolicy{},
+		Workers:   workers,
+		Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// streamBytes runs data through a Session (sequential or pipelined per the
+// engine's worker count) into a buffer and returns wire bytes + results.
+func streamBytes(t testing.TB, e *Engine, data []byte) ([]byte, []BlockResult) {
+	t.Helper()
+	var wire bytes.Buffer
+	s := NewSession(e)
+	results, err := s.Stream(data, func(frame []byte) (time.Duration, error) {
+		wire.Write(frame)
+		return time.Microsecond, nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire.Bytes(), results
+}
+
+// TestPipelineByteIdentity is the ordering acceptance test: for a seeded
+// mixed-shape stream, the wire bytes produced with 2, 4, and 8 workers must
+// equal the 1-worker (sequential Session) output exactly, and the stream
+// must decode back to the original data. Run under -race this also
+// exercises every cross-worker handoff.
+func TestPipelineByteIdentity(t *testing.T) {
+	const blockSize = 16 << 10
+	data := pipelineCorpus(t, 48*blockSize+123) // ragged final block on purpose
+	want, wantRes := streamBytes(t, pipelineEngine(t, 1, blockSize, Telemetry{}), data)
+
+	for _, workers := range []int{2, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, res := streamBytes(t, pipelineEngine(t, workers, blockSize, Telemetry{}), data)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%d-worker wire stream differs from sequential: %d vs %d bytes",
+					workers, len(got), len(want))
+			}
+			if len(res) != len(wantRes) {
+				t.Fatalf("got %d results, want %d", len(res), len(wantRes))
+			}
+			for i, r := range res {
+				if r.Index != i {
+					t.Fatalf("result %d carries index %d: emission out of order", i, r.Index)
+				}
+				if r.Workers != workers {
+					t.Fatalf("result %d reports %d workers, want %d", i, r.Workers, workers)
+				}
+				if r.Info.Method != wantRes[i].Info.Method {
+					t.Fatalf("block %d method %v, sequential chose %v", i, r.Info.Method, wantRes[i].Info.Method)
+				}
+			}
+			decoded, err := io.ReadAll(NewReader(bytes.NewReader(got), nil, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(decoded, data) {
+				t.Fatalf("decoded stream differs from original (%d vs %d bytes)", len(decoded), len(data))
+			}
+		})
+	}
+}
+
+// TestPipelineStallIdentity drives the 4-worker pipeline through a faultnet
+// link that stalls mid-frame: the stall must delay, not reorder or damage,
+// the stream — the receiver still sees the exact sequential bytes.
+func TestPipelineStallIdentity(t *testing.T) {
+	const blockSize = 8 << 10
+	data := pipelineCorpus(t, 16*blockSize)
+	want, _ := streamBytes(t, pipelineEngine(t, 1, blockSize, Telemetry{}), data)
+
+	client, server := net.Pipe()
+	faulty := faultnet.Wrap(client, faultnet.Plan{StallAt: len(want) / 2, Stall: 30 * time.Millisecond})
+	received := make(chan []byte, 1)
+	go func() {
+		raw, _ := io.ReadAll(server)
+		received <- raw
+	}()
+
+	e := pipelineEngine(t, 4, blockSize, Telemetry{})
+	s := NewSession(e)
+	if _, err := s.Stream(data, func(frame []byte) (time.Duration, error) {
+		start := time.Now()
+		if _, err := faulty.Write(frame); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	got := <-received
+	server.Close()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stalled 4-worker stream differs from sequential: %d vs %d bytes", len(got), len(want))
+	}
+}
+
+// waitGoroutines polls until the goroutine count falls back to base.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 64<<10)
+			t.Fatalf("goroutine leak: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPipelineShutdownNoLeaks kills the pipeline in the three unhappy ways
+// — transport error mid-stream, encode error, and early Close with blocks
+// still in flight — and requires every worker and the sequencer to exit.
+func TestPipelineShutdownNoLeaks(t *testing.T) {
+	const blockSize = 4 << 10
+	data := pipelineCorpus(t, 8*blockSize)
+	base := runtime.NumGoroutine()
+
+	t.Run("send-error", func(t *testing.T) {
+		e := pipelineEngine(t, 4, blockSize, Telemetry{})
+		sent := 0
+		boom := errors.New("link down")
+		p := NewPipeline(e, func(frame []byte) (time.Duration, error) {
+			sent++
+			if sent > 2 {
+				return 0, boom
+			}
+			return 0, nil
+		}, 4, nil)
+		var submitErr error
+		for i := 0; i < 64; i++ {
+			if submitErr = p.Submit(data[:blockSize]); submitErr != nil {
+				break
+			}
+		}
+		err := p.Close()
+		if !errors.Is(err, boom) {
+			t.Fatalf("Close = %v, want the transport error", err)
+		}
+		if submitErr != nil && !errors.Is(submitErr, boom) {
+			t.Fatalf("Submit = %v, want the transport error", submitErr)
+		}
+		if p.Err() == nil {
+			t.Fatal("Err() lost the failure")
+		}
+	})
+
+	t.Run("encode-error", func(t *testing.T) {
+		// An unregistered method poisons the encode inside the worker.
+		reg := codec.NewRegistry()
+		cfg := selector.DefaultConfig()
+		cfg.BlockSize = blockSize
+		e, err := NewEngine(Config{
+			Selector: cfg,
+			Registry: reg,
+			Policy:   staticPolicy{method: codec.Method(77)},
+			Workers:  4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewPipeline(e, func([]byte) (time.Duration, error) { return 0, nil }, 4, nil)
+		for i := 0; i < 8; i++ {
+			if err := p.Submit(data[:blockSize]); err != nil {
+				break
+			}
+		}
+		if err := p.Close(); err == nil {
+			t.Fatal("Close succeeded despite unregistered method")
+		}
+	})
+
+	t.Run("early-close", func(t *testing.T) {
+		e := pipelineEngine(t, 4, blockSize, Telemetry{})
+		p := NewPipeline(e, func([]byte) (time.Duration, error) { return 0, nil }, 4, nil)
+		for i := 0; i < 6; i++ {
+			if err := p.Submit(data[i*blockSize : (i+1)*blockSize]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Submit(data[:blockSize]); !errors.Is(err, ErrPipelineClosed) {
+			t.Fatalf("Submit after Close = %v, want ErrPipelineClosed", err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatalf("second Close = %v", err)
+		}
+	})
+
+	waitGoroutines(t, base)
+}
+
+// staticPolicy always selects one method.
+type staticPolicy struct{ method codec.Method }
+
+func (staticPolicy) Name() string { return "static" }
+
+func (p staticPolicy) Select(in selector.Inputs) selector.Decision {
+	return selector.Decision{Method: p.method, Inputs: in}
+}
+
+// sleepCodec simulates an expensive compressor whose cost is pure latency,
+// so encode overlap is measurable even on a single-core machine.
+type sleepCodec struct{ d time.Duration }
+
+func (c sleepCodec) Method() codec.Method { return codec.FirstCustom }
+func (c sleepCodec) Compress(src []byte) ([]byte, error) {
+	time.Sleep(c.d)
+	out := make([]byte, len(src)/2)
+	return out, nil
+}
+func (c sleepCodec) Decompress(src []byte, origLen int) ([]byte, error) {
+	return make([]byte, origLen), nil
+}
+
+// TestPipelineOverlap demonstrates the point of the subsystem: with encode
+// cost dominating, 4 workers must finish the same stream at least twice as
+// fast as 1 worker. The cost is simulated with sleeps so the assertion
+// holds on single-core CI runners too; BenchmarkPipeline* measures the real
+// codecs on real cores.
+func TestPipelineOverlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const (
+		blocks    = 8
+		blockSize = 1 << 10
+		cost      = 10 * time.Millisecond
+	)
+	run := func(workers int) time.Duration {
+		reg := codec.NewRegistry()
+		reg.Register(sleepCodec{d: cost})
+		cfg := selector.DefaultConfig()
+		cfg.BlockSize = blockSize
+		e, err := NewEngine(Config{
+			Selector: cfg,
+			Registry: reg,
+			Policy:   staticPolicy{method: codec.FirstCustom},
+			Workers:  workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, blocks*blockSize)
+		start := time.Now()
+		s := NewSession(e)
+		if _, err := s.Stream(data, func([]byte) (time.Duration, error) { return 0, nil }, nil); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	// Timing tests can lose to scheduler noise; allow one retry.
+	for attempt := 0; ; attempt++ {
+		t1, t4 := run(1), run(4)
+		if t4 > 0 && float64(t1)/float64(t4) >= 2 {
+			t.Logf("1 worker %v, 4 workers %v (%.1fx)", t1, t4, float64(t1)/float64(t4))
+			return
+		}
+		if attempt >= 1 {
+			t.Fatalf("4-worker pipeline not ≥2x faster: 1 worker %v, 4 workers %v", t1, t4)
+		}
+	}
+}
+
+// TestPipelineTelemetry checks the pipeline's observability wiring: the
+// in-flight depth gauge and sequencer-wait histogram exist and fill, trace
+// records carry the worker count, and sequence numbers survive SubmitSeq.
+func TestPipelineTelemetry(t *testing.T) {
+	const blockSize = 4 << 10
+	met := metrics.NewRegistry()
+	trace := obs.NewDecisionLog(256)
+	e := pipelineEngine(t, 3, blockSize, Telemetry{Metrics: met, Trace: trace, Stream: "pipe"})
+	data := pipelineCorpus(t, 12*blockSize)
+
+	var wire bytes.Buffer
+	p := NewPipeline(e, func(frame []byte) (time.Duration, error) {
+		wire.Write(frame)
+		return time.Microsecond, nil
+	}, 3, nil)
+	var seq uint64
+	for off := 0; off < len(data); off += blockSize {
+		seq++
+		if err := p.SubmitSeq(data[off:off+blockSize], seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := met.Snapshot()
+	if _, ok := snap["ccx.pipeline_depth"]; !ok {
+		t.Fatal("ccx.pipeline_depth gauge missing")
+	}
+	if got := snap["ccx.pipeline_depth"]; got != 0 {
+		t.Fatalf("pipeline_depth = %v after Close, want 0", got)
+	}
+	if got := snap["ccx.pipeline_wait_seconds.count"]; got != 12 {
+		t.Fatalf("pipeline_wait_seconds.count = %v, want 12", got)
+	}
+	recs := trace.Recent(0)
+	if len(recs) != 12 {
+		t.Fatalf("got %d trace records, want 12", len(recs))
+	}
+	for i, r := range recs {
+		if r.Workers != 3 {
+			t.Fatalf("record %d workers = %d, want 3", i, r.Workers)
+		}
+		if r.Stream != "pipe" {
+			t.Fatalf("record %d stream = %q", i, r.Stream)
+		}
+	}
+
+	// The sequenced frames must decode with their sequence numbers in order.
+	fr := codec.NewFrameReader(bytes.NewReader(wire.Bytes()), nil)
+	var want uint64
+	for {
+		_, info, err := fr.ReadBlock()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want++
+		if !info.HasSeq || info.Seq != want {
+			t.Fatalf("frame seq = %d (hasSeq=%v), want %d", info.Seq, info.HasSeq, want)
+		}
+	}
+	if want != 12 {
+		t.Fatalf("decoded %d sequenced frames, want 12", want)
+	}
+}

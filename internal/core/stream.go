@@ -22,19 +22,26 @@ type Writer struct {
 	w       io.Writer
 	buf     []byte
 	onBlock func(BlockResult)
+	pipe    *Pipeline // non-nil when the engine configured Workers > 1
 	closed  bool
 }
 
 // NewWriter returns an adaptive Writer. onBlock, when non-nil, observes
-// every transmitted block.
+// every transmitted block. With Config.Workers > 1 blocks are compressed
+// concurrently on a Pipeline (frames still reach w strictly in block
+// order), and onBlock fires from the pipeline's sequencer goroutine.
 func NewWriter(w io.Writer, e *Engine, onBlock func(BlockResult)) *Writer {
-	return &Writer{
+	wr := &Writer{
 		e:       e,
 		s:       NewSession(e),
 		w:       w,
 		buf:     make([]byte, 0, e.BlockSize()),
 		onBlock: onBlock,
 	}
+	if e.workers > 1 {
+		wr.pipe = NewPipeline(e, wr.send, e.workers, onBlock)
+	}
+	return wr
 }
 
 // send transmits one frame over the underlying writer, timing the call.
@@ -73,6 +80,11 @@ func (w *Writer) Write(p []byte) (int, error) {
 func (w *Writer) flushBlock() error {
 	block := w.buf
 	w.buf = make([]byte, 0, w.e.BlockSize())
+	if w.pipe != nil {
+		// Ownership of block transfers to the pipeline (a fresh buffer was
+		// just allocated above, so the Writer never mutates it again).
+		return w.pipe.Submit(block)
+	}
 	// The next block is unknown in streaming mode, so the probe runs at
 	// Decide time for each block (the synchronous fallback).
 	res, err := w.s.TransmitBlock(block, nil, w.send)
@@ -85,16 +97,24 @@ func (w *Writer) flushBlock() error {
 	return nil
 }
 
-// Close flushes buffered data. It does not close the underlying writer.
+// Close flushes buffered data (and, in pipelined mode, waits for every
+// in-flight block to reach the underlying writer). It does not close the
+// underlying writer.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
+	var err error
 	if len(w.buf) > 0 {
-		return w.flushBlock()
+		err = w.flushBlock()
 	}
-	return nil
+	if w.pipe != nil {
+		if cerr := w.pipe.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 var _ io.WriteCloser = (*Writer)(nil)

@@ -35,6 +35,8 @@ type txInstruments struct {
 	wireOut   *metrics.Histogram      // ccx.tx_wire_bytes (frame)
 	blocks    *metrics.Counter        // ccx.tx_blocks
 	fallbacks *metrics.Counter        // ccx.tx_fallbacks
+	pipeDepth *metrics.Gauge          // ccx.pipeline_depth (blocks in flight)
+	pipeWait  *metrics.Histogram      // ccx.pipeline_wait_seconds
 	ratio     [256]*metrics.Histogram // ccx.ratio.<method>
 	methods   [256]*metrics.Counter   // ccx.tx_method.<method>
 }
@@ -51,6 +53,8 @@ func newTxInstruments(reg *metrics.Registry, codecs *codec.Registry) *txInstrume
 		wireOut:   reg.Histogram("ccx.tx_wire_bytes", metrics.SizeBuckets),
 		blocks:    reg.Counter("ccx.tx_blocks"),
 		fallbacks: reg.Counter("ccx.tx_fallbacks"),
+		pipeDepth: reg.Gauge("ccx.pipeline_depth"),
+		pipeWait:  reg.Histogram("ccx.pipeline_wait_seconds", metrics.LatencyBuckets),
 	}
 	for _, m := range codecs.Methods() {
 		ins.ratio[m] = reg.Histogram(fmt.Sprintf("ccx.ratio.%s", m), metrics.RatioBuckets)
@@ -111,6 +115,8 @@ func (e *Engine) ObserveBlock(res BlockResult) {
 			EncodeNs:     int64(res.CompressTime),
 			SendNs:       int64(res.SendTime),
 			Fallback:     res.Info.Fallback,
+			Workers:      res.Workers,
+			PipeWaitNs:   int64(res.PipelineWait),
 		})
 	}
 }

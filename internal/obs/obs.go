@@ -81,6 +81,14 @@ type Record struct {
 	Resume    bool   `json:"resume,omitempty"`
 	Dup       bool   `json:"dup,omitempty"`
 	GapBlocks uint64 `json:"gap_blocks,omitempty"`
+
+	// Parallel-pipeline records. Workers is the encode worker-pool size that
+	// produced the block (1 = the sequential loop); PipeWaitNs is how long
+	// the in-order sequencer stalled waiting for this block's encode —
+	// persistently high values mean the pool is too small (or one codec is
+	// much slower than its neighbours).
+	Workers    int   `json:"workers,omitempty"`
+	PipeWaitNs int64 `json:"pipe_wait_ns,omitempty"`
 }
 
 // DefaultLogSize is the decision ring's default capacity.
