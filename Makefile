@@ -1,8 +1,10 @@
 GO      ?= go
 SHA     := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 BENCH_OUT ?= BENCH_$(SHA).json
+SWARM_OUT ?= swarm.json
+SWARM_SUBS ?= 1000
 
-.PHONY: all build test race vet bench bench-baseline clean
+.PHONY: all build test race vet bench bench-baseline swarm clean
 
 all: build test
 
@@ -29,5 +31,13 @@ bench:
 bench-baseline:
 	CCX_BENCH_OUT=bench/baseline.json CCX_BENCH_SHA=$(SHA) $(GO) test -run TestBenchArtifact -count=1 -v .
 
+# swarm drives the subscriber-swarm harness: SWARM_SUBS subscribers over
+# simulated links against an in-process broker, asserting the encode
+# plane's >=10x deliveries-per-encode dedup and writing delivery-latency
+# percentiles to $(SWARM_OUT).
+swarm:
+	$(GO) run ./cmd/ccswarm -subs $(SWARM_SUBS) -events 16 -block 16384 \
+		-profiles gigabit,fast100 -interval 25ms -min-dedup 10 -json $(SWARM_OUT)
+
 clean:
-	rm -f BENCH_*.json
+	rm -f BENCH_*.json swarm.json

@@ -70,8 +70,9 @@ func run(args []string, stop chan struct{}) error {
 		channels = fs.String("channels", "events", "comma-separated channel names to serve")
 		queueLen = fs.Int("queue", broker.DefaultQueueLen, "bounded outbound queue per subscriber, in events")
 		policy   = fs.String("policy", "drop", "slow-subscriber policy: drop (oldest) | evict")
-		block    = fs.Int("block", 64<<10, "block size hint for per-subscriber compression engines")
-		workers  = fs.Int("workers", 0, "encode worker goroutines per subscriber; blocks compress in parallel but hit the wire in order (0 = GOMAXPROCS, 1 = sequential)")
+		block    = fs.Int("block", 64<<10, "block size hint for per-subscriber selection engines")
+		workers  = fs.Int("workers", 0, "encode worker goroutines in the shared encode plane, per channel; distinct (block, method) pairs compress in parallel but hit the wire in order (0 = GOMAXPROCS, 1 = sequential)")
+		cache    = fs.Int64("cache", 0, "per-channel encoded-frame cache budget in bytes, serving resume replays and post-migration re-encodes (0 = default)")
 		hb       = fs.Duration("hb", broker.DefaultHeartbeat, "idle-link heartbeat interval (negative disables)")
 		rblocks  = fs.Int("replay-blocks", broker.DefaultReplayBlocks, "per-channel replay window for resuming subscribers, in blocks (0 with -replay-bytes 0 disables replay)")
 		rbytes   = fs.Int64("replay-bytes", broker.DefaultReplayBytes, "per-channel replay window for resuming subscribers, in bytes (0 with -replay-blocks 0 disables replay)")
@@ -112,6 +113,7 @@ func run(args []string, stop chan struct{}) error {
 		Channels:     names,
 		QueueLen:     *queueLen,
 		Policy:       pol,
+		CacheBytes:   *cache,
 		Heartbeat:    *hb,
 		ReplayBlocks: *rblocks,
 		ReplayBytes:  *rbytes,

@@ -6,7 +6,12 @@
 //
 //	ccbroker -listen :9981 -channels md -debug 127.0.0.1:9984 &
 //	ccstat -addr 127.0.0.1:9984
-//	15:04:05  blk    48 (12.0/s)  data 1.5 MB/s  wire 490 kB/s ( 31.9%)  [lz=10 none=2]  subs 3
+//	15:04:05  blk    48 (12.0/s)  data 1.5 MB/s  wire 490 kB/s ( 31.9%)  [lz=10 none=2]  subs 3  cls 2  dedup 1.5x  hit 72%
+//
+// Broker endpoints additionally render the shared encode plane's health:
+// "cls" is the live method-class count, "dedup" the interval's deliveries
+// per encode (fan-out width the plane served per compression), and "hit"
+// the frame-cache hit rate.
 //
 // It works against any of ccbroker, ccsend, and ccrecv: the line renders
 // whichever of the tx/rx/broker metric families the endpoint exposes and
@@ -104,6 +109,24 @@ func renderLine(now time.Time, prev, cur map[string]float64, dt time.Duration) s
 	}
 	if subs, ok := cur["broker.subscribers"]; ok {
 		seg = append(seg, fmt.Sprintf("subs %.0f", subs))
+	}
+	// Shared encode plane: live class count across channels, the interval's
+	// encode-dedup ratio (deliveries per encode — the encode-once payoff),
+	// and the frame-cache hit rate feeding replays and migrations.
+	if _, ok := cur["encplane.encodes"]; ok {
+		var classes float64
+		for key, v := range cur {
+			if strings.HasPrefix(key, "chan.") && strings.HasSuffix(key, ".classes") {
+				classes += v
+			}
+		}
+		seg = append(seg, fmt.Sprintf("cls %.0f", classes))
+		if enc := delta("encplane.encodes"); enc > 0 {
+			seg = append(seg, fmt.Sprintf("dedup %.1fx", delta("encplane.deliveries")/enc))
+		}
+		if hits, misses := delta("encplane.cache_hits"), delta("encplane.cache_misses"); hits+misses > 0 {
+			seg = append(seg, fmt.Sprintf("hit %.0f%%", hits/(hits+misses)*100))
+		}
 	}
 	for _, c := range [...]struct{ key, label string }{
 		{"broker.drops", "drops"},

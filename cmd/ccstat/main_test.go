@@ -29,6 +29,12 @@ func TestFetchAndRender(t *testing.T) {
 	lz := reg.Counter("ccx.tx_method.lz")
 	raw := reg.Counter("ccx.tx_method.none")
 	reg.Gauge("broker.subscribers").Set(3)
+	encodes := reg.Counter("encplane.encodes")
+	deliveries := reg.Counter("encplane.deliveries")
+	hits := reg.Counter("encplane.cache_hits")
+	misses := reg.Counter("encplane.cache_misses")
+	reg.Gauge("chan.md.classes").Set(2)
+	reg.Gauge("chan.audit.classes").Set(1)
 
 	prev, err := fetchVars(client, url)
 	if err != nil {
@@ -44,6 +50,10 @@ func TestFetchAndRender(t *testing.T) {
 	sizes.Observe(64 << 10)
 	wires.Observe(64 << 10)
 	raw.Inc()
+	encodes.Add(4)
+	deliveries.Add(12)
+	hits.Add(3)
+	misses.Add(1)
 	cur, err := fetchVars(client, url)
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +61,10 @@ func TestFetchAndRender(t *testing.T) {
 
 	line := renderLine(time.Unix(0, 0).UTC(), prev, cur, time.Second)
 	t.Logf("line: %s", line)
-	for _, want := range []string{"blk    11 (11.0/s)", "[lz=10 none=1]", "subs 3"} {
+	for _, want := range []string{
+		"blk    11 (11.0/s)", "[lz=10 none=1]", "subs 3",
+		"cls 3", "dedup 3.0x", "hit 75%",
+	} {
 		if !strings.Contains(line, want) {
 			t.Errorf("line %q missing %q", line, want)
 		}

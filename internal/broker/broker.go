@@ -6,10 +6,16 @@
 // Burrows-Wheeler. The repo's point-to-point tools (ccsend/ccrecv, one
 // echo.Bridge per pair) cannot express that. This broker can: publishers
 // submit events to named channels (internal/echo domains carry the
-// channel namespace), and every subscriber connection gets its own
-// core.Engine — its own goodput EWMA, sampling probes, and method
-// selection — so a slow link independently drifts toward heavier
-// compression while a fast link stays at None/Huffman.
+// channel namespace), and every subscriber connection keeps its own
+// *selection state* — its own goodput EWMA and method choice — so a slow
+// link independently drifts toward heavier compression while a fast link
+// stays at None/Huffman.
+//
+// Encoding, by contrast, is shared: subscribers that currently select the
+// same method form a method-equivalence class, and the internal/encplane
+// subsystem encodes each (block, method) pair exactly once into a
+// refcounted frame delivered to every queue in the class. Encode CPU
+// scales with the number of distinct methods, not with subscriber count.
 //
 // Production behaviour under misbehaving peers:
 //
@@ -40,9 +46,11 @@ import (
 	"ccx/internal/codec"
 	"ccx/internal/core"
 	"ccx/internal/echo"
+	"ccx/internal/encplane"
 	"ccx/internal/metrics"
 	"ccx/internal/netutil"
 	"ccx/internal/obs"
+	"ccx/internal/sampling"
 	"ccx/internal/selector"
 )
 
@@ -115,10 +123,15 @@ type Config struct {
 	// receivers can always detect loss.
 	ReplayBlocks int
 	ReplayBytes  int64
-	// Engine is the per-subscriber adaptation template: every subscriber
-	// gets its own core.Engine built from this config (so SpeedScale,
-	// selector thresholds, and block size apply per path). The Registry is
-	// shared across subscribers; nil means the built-in codec set.
+	// CacheBytes bounds each channel's shared-frame cache on the encode
+	// plane (0 = encplane.DefaultCacheBytes); resume replays are served
+	// from it instead of re-encoding.
+	CacheBytes int64
+	// Engine is the adaptation template: every subscriber gets its own
+	// core.Engine built from this config for *selection* (goodput EWMA,
+	// thresholds, block size apply per path), while encoding itself runs on
+	// the shared plane — Workers sets the plane's per-channel encode pool.
+	// The Registry is shared; nil means the built-in codec set.
 	Engine core.Config
 	// HandshakeTimeout bounds the initial handshake exchange
 	// (DefaultHandshakeTimeout if 0).
@@ -146,11 +159,13 @@ type Config struct {
 
 // Broker accepts publisher and subscriber connections and fans events out.
 type Broker struct {
-	cfg    Config
-	domain *echo.Domain
-	reg    *codec.Registry
-	met    *metrics.Registry
-	logf   func(string, ...any)
+	cfg     Config
+	domain  *echo.Domain
+	reg     *codec.Registry
+	met     *metrics.Registry
+	plane   *encplane.Plane
+	hbFrame []byte // precomputed zero-length None frame (heartbeats)
+	logf    func(string, ...any)
 
 	mu     sync.Mutex
 	closed bool
@@ -175,10 +190,11 @@ type Broker struct {
 // resume atomic: every block is either in the replay snapshot or delivered
 // through the live subscription, never both, never neither.
 type channelState struct {
-	mu   sync.Mutex
-	name string
-	ch   *echo.EventChannel
-	ring replayRing
+	mu    sync.Mutex
+	name  string
+	ch    *echo.EventChannel
+	ring  replayRing
+	plane *encplane.Channel
 
 	seqGauge    *metrics.Gauge // chan.<name>.seq — last assigned sequence
 	depthBlocks *metrics.Gauge // chan.<name>.replay_blocks
@@ -195,6 +211,7 @@ func (b *Broker) state(name string) *channelState {
 	st := &channelState{
 		name:        name,
 		ch:          b.domain.OpenChannel(name),
+		plane:       b.plane.Channel(name),
 		seqGauge:    b.met.Gauge(fmt.Sprintf("chan.%s.seq", name)),
 		depthBlocks: b.met.Gauge(fmt.Sprintf("chan.%s.replay_blocks", name)),
 		depthBytes:  b.met.Gauge(fmt.Sprintf("chan.%s.replay_bytes", name)),
@@ -205,8 +222,10 @@ func (b *Broker) state(name string) *channelState {
 }
 
 // submit stamps one event with the channel's next sequence number, retains
-// it in the replay window, and fans it out. The ring lock is held across
-// Submit so resume snapshots interleave atomically with publishes.
+// it in the replay window, and fans it out through the encode plane (one
+// encode per method class) and the in-process echo channel. The ring lock
+// is held across both so resume snapshots and subscriber joins interleave
+// atomically with publishes.
 func (b *Broker) submit(st *channelState, data []byte) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -218,6 +237,7 @@ func (b *Broker) submit(st *channelState, data []byte) error {
 	st.seqGauge.Set(int64(seq))
 	st.depthBlocks.Set(int64(st.ring.len()))
 	st.depthBytes.Set(st.ring.bytes)
+	st.plane.Publish(data, seq)
 	return st.ch.Submit(echo.Event{
 		Data:  data,
 		Attrs: echo.Attributes{core.AttrSeq: strconv.FormatUint(seq, 10)},
@@ -275,16 +295,35 @@ func New(cfg Config) (*Broker, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	plane, err := encplane.New(encplane.Config{
+		Engine:     cfg.Engine,
+		Workers:    cfg.Engine.Workers,
+		CacheBytes: cfg.CacheBytes,
+		Metrics:    met,
+		Trace:      cfg.Trace,
+		Logf:       logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Heartbeats are zero-length None frames — constant bytes, so one
+	// buffer serves every subscriber forever.
+	hb, _, err := codec.AppendFrame(nil, cfg.Engine.Registry, codec.None, nil)
+	if err != nil {
+		return nil, fmt.Errorf("broker: heartbeat frame: %w", err)
+	}
 	return &Broker{
-		cfg:    cfg,
-		domain: echo.NewDomain(),
-		reg:    cfg.Engine.Registry,
-		met:    met,
-		logf:   logf,
-		subs:   make(map[int]*subscriber),
-		pubs:   make(map[net.Conn]struct{}),
-		lns:    make(map[net.Listener]struct{}),
-		chans:  make(map[string]*channelState),
+		cfg:     cfg,
+		domain:  echo.NewDomain(),
+		reg:     cfg.Engine.Registry,
+		met:     met,
+		plane:   plane,
+		hbFrame: hb,
+		logf:    logf,
+		subs:    make(map[int]*subscriber),
+		pubs:    make(map[net.Conn]struct{}),
+		lns:     make(map[net.Listener]struct{}),
+		chans:   make(map[string]*channelState),
 	}, nil
 }
 
@@ -519,33 +558,33 @@ func (b *Broker) handlePublisher(conn net.Conn, channel string) {
 	}
 }
 
-// queuedEvent is one event waiting in a subscriber's outbound queue; the
-// enqueue stamp feeds the time-in-queue histogram on dequeue. seq/hasSeq
-// carry the channel sequence number into the frame header.
-type queuedEvent struct {
-	data   []byte
-	at     time.Time
-	seq    uint64
-	hasSeq bool
-}
-
-// subscriber is one consumer connection with a private adaptation loop.
+// subscriber is one consumer connection. Selection state (goodput EWMA,
+// current method) is private; encoded frames arrive ready-made from the
+// shared encode plane through the outbound queue.
 type subscriber struct {
 	id      int
 	channel string
-	conn    net.Conn // raw; Close unblocks both loops
-	wc      net.Conn // write side with rolling deadline
-	engine  *core.Engine
-	echoSub *echo.Subscription
+	conn    net.Conn     // raw; Close unblocks both loops
+	wc      net.Conn     // write side with rolling deadline
+	engine  *core.Engine // selection + per-path telemetry; never encodes
+	member  *encplane.Member
+	st      *channelState
 
-	queue  chan queuedEvent
-	replay []queuedEvent // resume backlog, sent before any live event
+	queue  chan encplane.Delivery
+	replay []ringEntry   // resume backlog, sent before any live delivery
 	drain  chan struct{} // closed by Shutdown: flush queue, then hang up
 	quit   chan struct{} // closed on evict/teardown: exit immediately
 	once   sync.Once
 
-	enc    []byte // frame scratch buffer
-	blocks int    // ordinal of the next block, for trace records
+	// qmu orders deliveries against teardown: deliver refuses once dead is
+	// set, and removeSub sets dead before draining the queue, so no frame
+	// reference can slip into a queue nobody will ever drain.
+	qmu  sync.Mutex
+	dead bool
+
+	curMethod codec.Method      // current class method (write-loop only)
+	lastDec   selector.Decision // decision that chose curMethod, for traces
+	blocks    int               // ordinal of the next block, for trace records
 
 	bytesIn   *metrics.Counter
 	bytesOut  *metrics.Counter
@@ -589,7 +628,7 @@ func (b *Broker) addSubscriber(conn net.Conn, channel string, resume bool, lastS
 		conn:    conn,
 		wc:      netutil.WithTimeouts(conn, 0, b.cfg.WriteTimeout),
 		engine:  engine,
-		queue:   make(chan queuedEvent, b.cfg.QueueLen),
+		queue:   make(chan encplane.Delivery, b.cfg.QueueLen),
 		drain:   make(chan struct{}),
 		quit:    make(chan struct{}),
 
@@ -603,35 +642,29 @@ func (b *Broker) addSubscriber(conn net.Conn, channel string, resume bool, lastS
 	}
 
 	st := b.state(channel)
+	s.st = st
 	st.mu.Lock()
 	var firstSeq uint64
 	if resume {
-		var entries []ringEntry
-		entries, firstSeq = st.ring.replayFrom(lastSeq)
-		if len(entries) > 0 {
-			s.replay = make([]queuedEvent, len(entries))
-			now := time.Now()
-			for i, e := range entries {
-				s.replay[i] = queuedEvent{data: e.data, at: now, seq: e.seq, hasSeq: true}
-			}
-		}
-		b.noteResume(s, lastSeq, firstSeq, len(entries))
+		s.replay, firstSeq = st.ring.replayFrom(lastSeq)
+		b.noteResume(s, lastSeq, firstSeq, len(s.replay))
 	}
-	// Subscribe while still holding the channel lock: publishes are blocked,
-	// so the first live delivery is exactly the first block after the
-	// snapshot. The subscription must exist before s is published in b.subs
-	// (Shutdown cancels s.echoSub unconditionally).
-	echoSub := st.ch.Subscribe(func(ev echo.Event) {
-		s.enqueue(b, ev)
+	// Join the encode plane while still holding the channel lock: publishes
+	// are blocked, so the first live delivery is exactly the first block
+	// after the snapshot; blocks submitted earlier but still in flight on
+	// the plane predate the join and (for resumes) sit in the replay
+	// snapshot instead. The membership must exist before s is published in
+	// b.subs (teardown leaves it unconditionally).
+	s.member = st.plane.Join(codec.None, func(d encplane.Delivery) bool {
+		return s.deliver(b, d)
 	})
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
 		st.mu.Unlock()
-		echoSub.Cancel()
+		s.member.Leave()
 		return nil, 0, ErrClosed
 	}
-	s.echoSub = echoSub
 	b.subs[id] = s
 	b.mu.Unlock()
 	st.mu.Unlock()
@@ -666,44 +699,51 @@ func (b *Broker) noteResume(s *subscriber, lastSeq, firstSeq uint64, replayed in
 	}
 }
 
-// enqueue runs in the publisher's goroutine (echo delivery is synchronous)
-// and must never block: a full queue triggers the slow-subscriber policy.
-func (s *subscriber) enqueue(b *Broker, e echo.Event) {
-	data := e.Data
-	if len(data) == 0 {
-		return
-	}
-	ev := queuedEvent{data: data, at: time.Now()}
-	if raw, ok := e.Attrs[core.AttrSeq]; ok {
-		if seq, err := strconv.ParseUint(raw, 10, 64); err == nil {
-			ev.seq, ev.hasSeq = seq, true
-		}
+// deliver runs on the encode plane's sequencer goroutine and must never
+// block: a full queue triggers the slow-subscriber policy. It reports
+// whether the delivery (and its frame reference) was accepted.
+func (s *subscriber) deliver(b *Broker, d encplane.Delivery) bool {
+	s.qmu.Lock()
+	if s.dead {
+		s.qmu.Unlock()
+		return false
 	}
 	select {
-	case s.queue <- ev:
+	case s.queue <- d:
 		s.noteDepth()
-		return
+		s.qmu.Unlock()
+		return true
 	default:
 	}
 	switch b.cfg.Policy {
 	case DropOldest:
 		select {
-		case <-s.queue:
+		case old := <-s.queue:
+			old.Frame.Release()
 			s.drops.Inc()
 			b.met.Counter("broker.drops").Inc()
 		default:
 		}
+		accepted := true
 		select {
-		case s.queue <- ev:
+		case s.queue <- d:
 		default:
-			// Lost the race to another producer; the new event is the drop.
+			// Lost the race to the draining write loop refilling; the new
+			// delivery is the drop.
+			accepted = false
 			s.drops.Inc()
 			b.met.Counter("broker.drops").Inc()
 		}
 		s.noteDepth()
+		s.qmu.Unlock()
+		return accepted
 	case Evict:
+		s.qmu.Unlock()
 		b.removeSub(s, true, "outbound queue overflow")
+		return false
 	}
+	s.qmu.Unlock()
+	return false
 }
 
 // noteDepth refreshes the queue-depth gauge and its high-water mark.
@@ -713,16 +753,11 @@ func (s *subscriber) noteDepth() {
 	s.depthHWM.SetMax(d)
 }
 
-// run is the subscriber's write loop: dequeue, adapt, frame, send. With
-// Engine.Workers > 1 the loop hands blocks to a core.Pipeline instead,
-// which compresses them concurrently while writing frames strictly in
-// queue order — sequence numbers and replay semantics are byte-for-byte
-// what the sequential loop produces.
+// run is the subscriber's write loop: dequeue a shared frame, write it,
+// feed the realized send time into this path's goodput monitor, and re-run
+// selection to keep the member in the right method class. Encoding already
+// happened once per class on the plane.
 func (s *subscriber) run(b *Broker) {
-	if s.engine.Workers() > 1 {
-		s.runPipelined(b)
-		return
-	}
 	defer func() {
 		if r := recover(); r != nil {
 			b.met.Counter("broker.panics").Inc()
@@ -736,15 +771,16 @@ func (s *subscriber) run(b *Broker) {
 		defer t.Stop()
 		hb = t.C
 	}
-	// Resume backlog first: replayed blocks all precede any live event in
-	// sequence order (the snapshot was atomic with the subscription).
-	for _, ev := range s.replay {
+	// Resume backlog first: replayed blocks all precede any live delivery
+	// in sequence order (the snapshot was atomic with the plane join), and
+	// are served from the shared frame cache where possible.
+	for _, e := range s.replay {
 		select {
 		case <-s.quit:
 			return
 		default:
 		}
-		if !s.send(b, ev) {
+		if !s.sendReplay(b, e) {
 			return
 		}
 	}
@@ -757,182 +793,122 @@ func (s *subscriber) run(b *Broker) {
 			// Graceful shutdown: flush whatever is queued, then hang up.
 			for {
 				select {
-				case ev := <-s.queue:
-					if !s.send(b, ev) {
+				case d := <-s.queue:
+					if !s.sendLive(b, d) {
 						return
 					}
 				default:
 					return
 				}
 			}
-		case ev := <-s.queue:
+		case d := <-s.queue:
 			s.depth.Set(int64(len(s.queue)))
-			if !s.send(b, ev) {
+			if !s.sendLive(b, d) {
 				return
 			}
 		case <-hb:
-			if !s.send(b, queuedEvent{}) {
+			if _, err := s.wc.Write(b.hbFrame); err != nil {
+				b.logf("broker: subscriber %d write: %v", s.id, err)
+				b.removeSub(s, true, "write failed or timed out")
 				return
 			}
 		}
 	}
 }
 
-// runPipelined is run's parallel variant: dequeued events are submitted to
-// a bounded worker pool (core.Pipeline) that runs Decide + encode
-// concurrently, while the pipeline's sequencer writes frames to the
-// connection strictly in submission order. Heartbeats ride through the same
-// pipeline, so the connection only ever sees whole frames. Write errors
-// surface on the next Submit (at the latest, on the next heartbeat tick),
-// where the subscriber is evicted exactly like the sequential loop does.
-func (s *subscriber) runPipelined(b *Broker) {
-	defer func() {
-		if r := recover(); r != nil {
-			b.met.Counter("broker.panics").Inc()
-			b.logf("broker: subscriber %d panic: %v", s.id, r)
-		}
-		b.removeSub(s, false, "write loop exit")
-	}()
-	send := func(frame []byte) (time.Duration, error) {
-		start := time.Now()
-		if _, err := s.wc.Write(frame); err != nil {
-			return 0, err
-		}
-		return time.Since(start), nil
+// sendLive writes one shared frame and releases its reference. Selection
+// runs at dequeue, with this block's shared probe and the path's live
+// goodput — the same instant a per-subscriber encode loop would decide — so
+// adaptation never lags behind a queue backlog. When the decision differs
+// from the class the frame was encoded for at publish time, the frame is
+// swapped through the shared (seq, method) cache: however many subscribers
+// migrated the same way, the block is re-encoded at most once. It reports
+// false on write failure — the caller tears down.
+func (s *subscriber) sendLive(b *Broker, d encplane.Delivery) bool {
+	f := d.Frame
+	defer func() { f.Release() }()
+	if d.Frame.FirstWait() {
+		// Queue wait is attributed once per class (first dequeuer), so the
+		// histogram measures distinct frames, not fan-out width.
+		s.queueWait.Observe(time.Since(d.At).Seconds())
 	}
-	p := core.NewPipeline(s.engine, send, s.engine.Workers(), func(r core.BlockResult) {
-		// Per-subscriber accounting, mirroring the sequential send path.
-		// Monitor feedback and engine telemetry already happened inside the
-		// pipeline's sequencer.
-		s.bytesIn.Add(int64(r.Info.OrigLen))
-		s.bytesOut.Add(int64(r.WireBytes))
-		s.ratio.Observe(r.Info.Ratio())
-		b.met.Counter(fmt.Sprintf("sub.%d.method.%s", s.id, r.Info.Method)).Inc()
-		s.blocks++
-	})
-	defer p.Close()
-	submit := func(ev queuedEvent) bool {
-		var err error
-		if len(ev.data) == 0 {
-			err = p.Submit(nil) // heartbeat
-		} else {
-			s.queueWait.Observe(time.Since(ev.at).Seconds())
-			if ev.hasSeq {
-				err = p.SubmitSeq(ev.data, ev.seq)
-			} else {
-				err = p.Submit(ev.data)
-			}
-		}
+	s.adapt(len(d.Data), d.Probe)
+	if f.RequestedMethod() != s.curMethod {
+		nf, err := s.st.plane.EncodeCached(d.Data, f.Seq(), s.curMethod)
 		if err != nil {
-			b.logf("broker: subscriber %d pipeline: %v", s.id, err)
-			b.removeSub(s, true, "write failed or timed out")
-			return false
-		}
-		return true
-	}
-	var hb <-chan time.Time
-	if b.cfg.Heartbeat > 0 {
-		t := time.NewTicker(b.cfg.Heartbeat)
-		defer t.Stop()
-		hb = t.C
-	}
-	for _, ev := range s.replay {
-		select {
-		case <-s.quit:
-			return
-		default:
-		}
-		if !submit(ev) {
-			return
-		}
-	}
-	s.replay = nil
-	for {
-		select {
-		case <-s.quit:
-			return
-		case <-s.drain:
-			for {
-				select {
-				case ev := <-s.queue:
-					if !submit(ev) {
-						return
-					}
-				default:
-					// The deferred Close flushes every in-flight block before
-					// the connection is torn down.
-					return
-				}
-			}
-		case ev := <-s.queue:
-			s.depth.Set(int64(len(s.queue)))
-			if !submit(ev) {
-				return
-			}
-		case <-hb:
-			if !submit(queuedEvent{}) {
-				return
-			}
-		}
-	}
-}
-
-// send frames one event (zero value = heartbeat) with this subscriber's
-// engine and writes it. It reports false on write failure — the caller
-// tears down.
-func (s *subscriber) send(b *Broker, ev queuedEvent) bool {
-	data := ev.data
-	var (
-		frame []byte
-		info  codec.BlockInfo
-		dec   selector.Decision
-		err   error
-	)
-	encStart := time.Now()
-	if len(data) == 0 {
-		frame, _, err = codec.AppendFrame(s.enc[:0], b.reg, codec.None, nil)
-	} else {
-		s.queueWait.Observe(encStart.Sub(ev.at).Seconds())
-		dec = s.engine.Decide(data)
-		if ev.hasSeq {
-			frame, info, err = codec.AppendFrameSeq(s.enc[:0], b.reg, dec.Method, data, ev.seq)
+			// Fall back to the delivered frame: stale method, correct bytes.
+			b.logf("broker: subscriber %d re-encode: %v", s.id, err)
 		} else {
-			frame, info, err = codec.AppendFrame(s.enc[:0], b.reg, dec.Method, data)
+			f.Release()
+			f = nf
 		}
 	}
-	encodeTime := time.Since(encStart)
-	if err != nil {
-		b.logf("broker: subscriber %d encode: %v", s.id, err)
-		return false
-	}
-	s.enc = frame[:0]
+	frame := f.Bytes()
 	start := time.Now()
 	if _, err := s.wc.Write(frame); err != nil {
 		b.logf("broker: subscriber %d write: %v", s.id, err)
 		b.removeSub(s, true, "write failed or timed out")
 		return false
 	}
-	if len(data) == 0 {
-		return true
+	s.observeBlock(b, f.Info(), time.Since(start), len(frame), len(d.Data))
+	return true
+}
+
+// sendReplay encodes (or cache-fetches) one resume-backlog block at the
+// subscriber's current method and writes it.
+func (s *subscriber) sendReplay(b *Broker, e ringEntry) bool {
+	s.adapt(len(e.data), s.st.plane.ProbeFor(e.data, e.seq))
+	f, err := s.st.plane.EncodeCached(e.data, e.seq, s.curMethod)
+	if err != nil {
+		b.logf("broker: subscriber %d replay encode: %v", s.id, err)
+		return false
 	}
-	sendTime := time.Since(start)
+	defer f.Release()
+	frame := f.Bytes()
+	start := time.Now()
+	if _, err := s.wc.Write(frame); err != nil {
+		b.logf("broker: subscriber %d write: %v", s.id, err)
+		b.removeSub(s, true, "write failed or timed out")
+		return false
+	}
+	s.observeBlock(b, f.Info(), time.Since(start), len(frame), len(e.data))
+	return true
+}
+
+// observeBlock feeds one delivered block into this path's monitor, metrics,
+// and decision trace. The trace's Method is the wire truth (the class frame
+// that was sent); Decision is the selection that placed the subscriber in
+// its current class.
+func (s *subscriber) observeBlock(b *Broker, info codec.BlockInfo, sendTime time.Duration, wire, origLen int) {
 	// End-to-end feedback: the write stalls under receiver backpressure,
 	// which is exactly the acceptance-rate signal the selector wants.
-	s.engine.Monitor().Observe(len(frame), sendTime)
-	s.bytesIn.Add(int64(len(data)))
-	s.bytesOut.Add(int64(len(frame)))
+	s.engine.Monitor().Observe(wire, sendTime)
+	s.bytesIn.Add(int64(origLen))
+	s.bytesOut.Add(int64(wire))
 	s.ratio.Observe(info.Ratio())
 	b.met.Counter(fmt.Sprintf("sub.%d.method.%s", s.id, info.Method)).Inc()
 	s.engine.ObserveBlock(core.BlockResult{
-		Index:        s.blocks,
-		Decision:     dec,
-		Info:         info,
-		CompressTime: encodeTime,
-		SendTime:     sendTime,
-		WireBytes:    len(frame),
+		Index:     s.blocks,
+		Decision:  s.lastDec,
+		Info:      info,
+		SendTime:  sendTime,
+		WireBytes: wire,
+		Workers:   1,
 	})
 	s.blocks++
-	return true
+}
+
+// adapt runs selection with the shared probe and this path's own predicted
+// send time, migrating the member's class when the choice changes. It runs
+// before each write, so the decision applies to the block about to be sent —
+// identical timing to a per-subscriber encode loop (see DESIGN.md §11).
+func (s *subscriber) adapt(blockLen int, probe sampling.ProbeResult) {
+	dec := s.engine.DecideProbed(blockLen, probe)
+	s.lastDec = dec
+	if dec.Method != s.curMethod {
+		s.curMethod = dec.Method
+		s.member.Migrate(dec.Method)
+	}
 }
 
 // readDrain consumes and discards anything the subscriber writes (pings),
@@ -959,15 +935,28 @@ func (s *subscriber) readDrain(b *Broker) {
 	}
 }
 
-// removeSub tears a subscriber down exactly once: detach from the channel,
-// stop the write loop, close the connection, update accounting.
+// removeSub tears a subscriber down exactly once: leave the encode plane,
+// stop the write loop, close the connection, release every frame reference
+// still queued, update accounting.
 func (b *Broker) removeSub(s *subscriber, evicted bool, reason string) {
 	s.once.Do(func() {
-		if s.echoSub != nil {
-			s.echoSub.Cancel()
-		}
+		s.member.Leave()
+		// Mark dead under qmu so no concurrent deliver can enqueue after the
+		// drain below — the frame references would leak.
+		s.qmu.Lock()
+		s.dead = true
+		s.qmu.Unlock()
 		close(s.quit)
 		s.conn.Close()
+		for {
+			select {
+			case d := <-s.queue:
+				d.Frame.Release()
+				continue
+			default:
+			}
+			break
+		}
 		b.mu.Lock()
 		delete(b.subs, s.id)
 		b.mu.Unlock()
@@ -1009,6 +998,10 @@ func (b *Broker) Shutdown(ctx context.Context) error {
 		b.mu.Unlock()
 	}
 
+	// Flush the encode plane: every submitted block is encoded and lands in
+	// its class queues before the subscriber drain below starts.
+	_ = b.plane.Close()
+
 	// Ask every subscriber's write loop to flush its queue and hang up.
 	b.mu.Lock()
 	subs := make([]*subscriber, 0, len(b.subs))
@@ -1017,7 +1010,6 @@ func (b *Broker) Shutdown(ctx context.Context) error {
 	}
 	b.mu.Unlock()
 	for _, s := range subs {
-		s.echoSub.Cancel()
 		close(s.drain)
 	}
 

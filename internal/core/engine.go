@@ -171,10 +171,18 @@ func (e *Engine) takeProbe(block []byte) sampling.ProbeResult {
 // Decide selects the compression method for block, consuming the pending
 // probe when one was started (the probe must have been for this block).
 func (e *Engine) Decide(block []byte) selector.Decision {
-	probe := e.takeProbe(block)
+	return e.DecideProbed(len(block), e.takeProbe(block))
+}
+
+// DecideProbed selects a method for a block of blockLen bytes from an
+// already-computed sampling probe. The probe depends only on the block's
+// bytes, so the shared encode plane computes it once and amortizes it across
+// every subscriber of a channel; SendTime still comes from this engine's own
+// goodput monitor, keeping the paper's per-path decision intact.
+func (e *Engine) DecideProbed(blockLen int, probe sampling.ProbeResult) selector.Decision {
 	in := selector.Inputs{
-		BlockLen:      len(block),
-		SendTime:      e.mon.SendTime(len(block)),
+		BlockLen:      blockLen,
+		SendTime:      e.mon.SendTime(blockLen),
 		ProbeRatio:    probe.Ratio,
 		ReducingSpeed: probe.ReducingSpeed,
 		Entropy:       probe.Entropy,

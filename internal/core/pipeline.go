@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ccx/internal/codec"
+	"ccx/internal/selector"
 )
 
 // Pipeline runs the engine's per-block loop on a bounded worker pool: each
@@ -63,7 +64,11 @@ type pipeJob struct {
 	seq    uint64
 	hasSeq bool
 	hb     bool // heartbeat: empty None frame, no telemetry
-	out    chan pipeResult
+	// preDecided skips Engine.Decide: the caller already selected method
+	// (the encode plane runs one selection per method-equivalence class).
+	preDecided bool
+	method     codec.Method
+	out        chan pipeResult
 }
 
 type pipeResult struct {
@@ -116,15 +121,24 @@ func (p *Pipeline) Workers() int { return p.workers }
 // empty (or nil) block is sent as a zero-length None frame — the heartbeat
 // convention — bypassing the selector and telemetry. Submit is asynchronous;
 // errors from earlier blocks surface on later Submits or on Close.
-func (p *Pipeline) Submit(block []byte) error { return p.submit(block, 0, false) }
+func (p *Pipeline) Submit(block []byte) error { return p.submit(pipeJob{block: block}) }
 
 // SubmitSeq is Submit with a per-channel block sequence number: the frame
 // is emitted in version-3 format carrying seq (see codec.AppendFrameSeq).
 func (p *Pipeline) SubmitSeq(block []byte, seq uint64) error {
-	return p.submit(block, seq, true)
+	return p.submit(pipeJob{block: block, seq: seq, hasSeq: true})
 }
 
-func (p *Pipeline) submit(block []byte, seq uint64, hasSeq bool) error {
+// SubmitMethod enqueues a non-empty block whose compression method the
+// caller already selected, bypassing Engine.Decide on the worker. The encode
+// plane uses this to run selection once per method-equivalence class while
+// distinct (block, method) pairs still compress concurrently. The frame is
+// emitted in version-3 format carrying seq.
+func (p *Pipeline) SubmitMethod(block []byte, m codec.Method, seq uint64) error {
+	return p.submit(pipeJob{block: block, seq: seq, hasSeq: true, preDecided: true, method: m})
+}
+
+func (p *Pipeline) submit(job pipeJob) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -135,13 +149,8 @@ func (p *Pipeline) submit(block []byte, seq uint64, hasSeq bool) error {
 		p.mu.Unlock()
 		return err
 	}
-	job := pipeJob{
-		block:  block,
-		seq:    seq,
-		hasSeq: hasSeq,
-		hb:     len(block) == 0,
-		out:    make(chan pipeResult, 1),
-	}
+	job.hb = len(job.block) == 0
+	job.out = make(chan pipeResult, 1)
 	if !job.hb {
 		job.index = p.index
 		p.index++
@@ -202,7 +211,11 @@ func (p *Pipeline) encode(job pipeJob) pipeResult {
 		return pipeResult{frame: frame, buf: bufp, hb: true, err: err}
 	}
 	res := BlockResult{Index: job.index, Workers: p.workers}
-	res.Decision = e.Decide(job.block)
+	if job.preDecided {
+		res.Decision = selector.Decision{Method: job.method}
+	} else {
+		res.Decision = e.Decide(job.block)
+	}
 	start := e.now()
 	var (
 		frame []byte

@@ -1,0 +1,568 @@
+// Package encplane is the broker's shared encode plane: it groups a
+// channel's subscribers into method-equivalence classes (same channel, same
+// currently-selected compression method) and encodes each (block, method)
+// pair exactly once, fanning the resulting immutable, reference-counted
+// frame out to every queue in the class.
+//
+// The paper selects a compression method per *path*, and the naive broker
+// realization runs the whole engine — probe, selection, encode — once per
+// subscriber. But the expensive parts don't depend on the subscriber at
+// all: the 4 KB sampling probe depends only on the block, and the encoded
+// v3 frame depends only on (block, method, sequence), because sequence
+// numbers are per channel. Only the *selection* is per path (it consumes
+// the subscriber's own goodput EWMA), and selection is a handful of float
+// comparisons. So the plane splits the loop:
+//
+//	per block:              one probe, shared by every subscriber;
+//	per (block, method):    one encode, one refcounted frame;
+//	per subscriber:         selection, queueing, send, goodput feedback.
+//
+// Broker encode CPU therefore scales with the number of distinct methods in
+// use (at most the registry size), not with subscriber count — the property
+// cmd/ccswarm measures.
+//
+// Distinct (block, method) pairs encode concurrently on a per-channel
+// core.Pipeline whose in-order sequencer preserves the channel's delivery
+// order: each member sees a subsequence of the channel's blocks, so every
+// subscriber's sequence stream stays strictly monotonic through class
+// migrations. Encoded frames also land in a bounded per-channel cache keyed
+// by (sequence, method), which resume replays hit instead of re-encoding —
+// a reconnect storm after a network blip costs one encode per method, not
+// one per returning subscriber.
+package encplane
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccx/internal/codec"
+	"ccx/internal/core"
+	"ccx/internal/metrics"
+	"ccx/internal/obs"
+	"ccx/internal/sampling"
+)
+
+// DefaultCacheBytes bounds each channel's encoded-frame cache when the
+// configuration leaves it zero. It matches the broker's default replay-ring
+// byte budget, so a resume inside the replay window usually hits the cache.
+const DefaultCacheBytes = 8 << 20
+
+// Config assembles a Plane.
+type Config struct {
+	// Engine supplies the registry, clock, probe size, and speed scale the
+	// plane's encode pipelines run with. Telemetry is ignored (the plane
+	// emits its own encplane.* instrumentation); per-subscriber engines
+	// stay outside the plane, owned by the broker.
+	Engine core.Config
+	// Workers sets each channel pipeline's encode pool (<= 0: GOMAXPROCS).
+	Workers int
+	// CacheBytes bounds each channel's frame cache (0 = DefaultCacheBytes).
+	CacheBytes int64
+	// Metrics receives encplane.* and chan.<name>.* instrumentation
+	// (nil = a private registry).
+	Metrics *metrics.Registry
+	// Trace receives one record per encoded frame (stream "encplane"),
+	// carrying the class label and fan-out width. nil disables.
+	Trace *obs.DecisionLog
+	// Logf logs encode failures (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Plane owns the per-channel encode state. Create with New.
+type Plane struct {
+	reg   *codec.Registry
+	smp   *sampling.Sampler
+	met   *metrics.Registry
+	trace *obs.DecisionLog
+	logf  func(string, ...any)
+
+	engine     *core.Engine // shared by every channel pipeline
+	workers    int
+	cacheBytes int64
+
+	bufs sync.Pool // *[]byte frame buffers, shared across channels
+
+	encodes    *metrics.Counter
+	encBytes   *metrics.Counter
+	deliveries *metrics.Counter
+	hits       *metrics.Counter
+	misses     *metrics.Counter
+	evictions  *metrics.Counter
+	migrations *metrics.Counter
+	errors     *metrics.Counter
+	framesLive *metrics.Gauge
+	encLat     *metrics.Histogram
+
+	mu     sync.Mutex
+	chans  map[string]*Channel
+	closed bool
+}
+
+// New validates cfg and builds a Plane.
+func New(cfg Config) (*Plane, error) {
+	if cfg.CacheBytes < 0 {
+		return nil, fmt.Errorf("encplane: negative cache budget %d", cfg.CacheBytes)
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	ecfg := cfg.Engine
+	ecfg.Telemetry = core.Telemetry{}
+	engine, err := core.NewEngine(ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("encplane: engine: %w", err)
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = metrics.NewRegistry()
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	p := &Plane{
+		reg: engine.Registry(),
+		smp: &sampling.Sampler{
+			ProbeSize:  ecfg.ProbeSize,
+			SpeedScale: ecfg.SpeedScale,
+			Now:        ecfg.Now,
+		},
+		met:        met,
+		trace:      cfg.Trace,
+		logf:       logf,
+		engine:     engine,
+		workers:    cfg.Workers,
+		cacheBytes: cfg.CacheBytes,
+
+		encodes:    met.Counter("encplane.encodes"),
+		encBytes:   met.Counter("encplane.encoded_bytes"),
+		deliveries: met.Counter("encplane.deliveries"),
+		hits:       met.Counter("encplane.cache_hits"),
+		misses:     met.Counter("encplane.cache_misses"),
+		evictions:  met.Counter("encplane.cache_evictions"),
+		migrations: met.Counter("encplane.migrations"),
+		errors:     met.Counter("encplane.errors"),
+		framesLive: met.Gauge("encplane.frames_live"),
+		encLat:     met.Histogram("encplane.encode_seconds", metrics.LatencyBuckets),
+
+		chans: make(map[string]*Channel),
+	}
+	p.bufs.New = func() any { return new([]byte) }
+	return p, nil
+}
+
+// LiveFrames reports how many shared frames currently hold references —
+// zero after every member left, the cache was purged, and all deliveries
+// were released. The churn race test asserts on this.
+func (p *Plane) LiveFrames() int64 { return p.framesLive.Value() }
+
+// Channel returns (creating on first use) the named channel's encode state.
+func (p *Plane) Channel(name string) *Channel {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.chans[name]; ok {
+		return c
+	}
+	c := &Channel{
+		p:            p,
+		name:         name,
+		members:      make(map[*Member]struct{}),
+		classCount:   make(map[codec.Method]int),
+		classesGauge: p.met.Gauge(fmt.Sprintf("chan.%s.classes", name)),
+		queuedBytes:  p.met.Gauge(fmt.Sprintf("chan.%s.queued_bytes", name)),
+		queuedHWM:    p.met.Gauge(fmt.Sprintf("chan.%s.queued_bytes_hwm", name)),
+	}
+	c.cache.maxBytes = p.cacheBytes
+	send := func(frame []byte) (time.Duration, error) {
+		// Copy out of the pipeline's recyclable scratch into a refcounted
+		// buffer; the sequencer's onBlock below fans it out.
+		job := c.peekPending()
+		c.inflight = c.copyFrame(frame, job.seq, job.method, codec.BlockInfo{})
+		return 0, nil
+	}
+	onBlock := func(r core.BlockResult) {
+		f := c.inflight
+		c.inflight = nil
+		f.info = r.Info
+		c.fanOut(f, c.popPending(), r)
+	}
+	c.pipe = core.NewPipeline(p.engine, send, p.workers, onBlock)
+	p.chans[name] = c
+	return c
+}
+
+// Close flushes and stops every channel pipeline and purges the frame
+// caches. In-flight blocks are still delivered to their classes before the
+// corresponding pipelines wind down.
+func (p *Plane) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	chans := make([]*Channel, 0, len(p.chans))
+	for _, c := range p.chans {
+		chans = append(chans, c)
+	}
+	p.mu.Unlock()
+	for _, c := range chans {
+		c.close()
+	}
+	return nil
+}
+
+// Channel is one named channel's encode state: membership classes, the
+// encode pipeline, and the frame cache.
+type Channel struct {
+	p    *Plane
+	name string
+
+	// mu guards membership, the frame cache, and the probe cache. It is a
+	// leaf lock: nothing is called while holding it that can block on the
+	// pipeline, so publishers and the delivery sequencer never deadlock
+	// against joins, leaves, or migrations.
+	mu         sync.Mutex
+	members    map[*Member]struct{}
+	classCount map[codec.Method]int // members per method; len = live classes
+	cache      frameCache
+	probes     probeCache
+
+	// pipeMu serializes pipeline submissions (Publish) against close —
+	// core.Pipeline's Submit/Close are single-owner calls. Membership
+	// operations never take it.
+	pipeMu     sync.Mutex
+	pipeClosed bool
+	pipe       *core.Pipeline
+
+	// pending is the FIFO of job contexts, appended before each pipeline
+	// submission and consumed by the sequencer in the same order — valid
+	// because the sequencer emits strictly in submission order and an
+	// errored job permanently latches the pipeline (sends stay a prefix of
+	// submissions).
+	pendMu   sync.Mutex
+	pending  []pendingJob
+	inflight *Frame // set by send, consumed by onBlock; sequencer-local
+
+	liveBytes    atomic.Int64
+	classesGauge *metrics.Gauge // chan.<name>.classes
+	queuedBytes  *metrics.Gauge // chan.<name>.queued_bytes (once per class)
+	queuedHWM    *metrics.Gauge // chan.<name>.queued_bytes_hwm
+}
+
+// pendingJob carries one (block, method) encode's fan-out context.
+type pendingJob struct {
+	seq     uint64
+	method  codec.Method
+	members []*Member
+	data    []byte
+	probe   sampling.ProbeResult
+	at      time.Time
+}
+
+func (c *Channel) pushPending(j pendingJob) {
+	c.pendMu.Lock()
+	c.pending = append(c.pending, j)
+	c.pendMu.Unlock()
+}
+
+// popPendingTail undoes a pushPending whose submission was refused.
+func (c *Channel) popPendingTail() {
+	c.pendMu.Lock()
+	c.pending = c.pending[:len(c.pending)-1]
+	c.pendMu.Unlock()
+}
+
+func (c *Channel) peekPending() pendingJob {
+	c.pendMu.Lock()
+	defer c.pendMu.Unlock()
+	return c.pending[0]
+}
+
+func (c *Channel) popPending() pendingJob {
+	c.pendMu.Lock()
+	defer c.pendMu.Unlock()
+	j := c.pending[0]
+	c.pending[0] = pendingJob{}
+	c.pending = c.pending[1:]
+	return j
+}
+
+// Delivery hands one shared frame to a member's queue. The receiver owns
+// one frame reference and must Release it exactly once — after writing,
+// dropping, or tearing down.
+//
+// The frame was encoded with the method the member had selected at publish
+// time. A consumer that has since migrated (its queue backlog outlived a
+// selection change) re-evaluates at dequeue and swaps the frame through
+// EncodeCached — so selection timing is identical to a per-subscriber
+// encode loop, while the steady state still encodes once per class.
+type Delivery struct {
+	Frame *Frame
+	// Data is the original block, shared read-only with the replay ring;
+	// it feeds EncodeCached when the consumer migrated after publish.
+	Data []byte
+	// Probe is the block's shared sampling probe; combined with the
+	// member's own goodput monitor it reproduces the paper's per-path
+	// selection inputs (core.Engine.DecideProbed).
+	Probe sampling.ProbeResult
+	// At is when the block was published (queue-wait accounting).
+	At time.Time
+}
+
+// DeliverFunc enqueues one delivery. It must not block; returning false
+// refuses the delivery and returns the frame reference to the plane.
+type DeliverFunc func(Delivery) bool
+
+// Member is one subscriber's membership in a channel's class structure.
+type Member struct {
+	ch      *Channel
+	deliver DeliverFunc
+	method  codec.Method // guarded by ch.mu
+	left    bool         // guarded by ch.mu
+}
+
+// Join adds a member with an initial method (the paper's first-block
+// convention is None). Publishes after Join include the member; blocks
+// already in flight do not — they predate the join and, when the caller is
+// resuming, are covered by the replay window instead.
+func (c *Channel) Join(m codec.Method, deliver DeliverFunc) *Member {
+	mb := &Member{ch: c, deliver: deliver, method: m}
+	c.mu.Lock()
+	c.members[mb] = struct{}{}
+	c.classDelta(m, +1)
+	c.mu.Unlock()
+	return mb
+}
+
+// Method returns the member's current class method.
+func (m *Member) Method() codec.Method {
+	m.ch.mu.Lock()
+	defer m.ch.mu.Unlock()
+	return m.method
+}
+
+// Migrate moves the member to a new method class. The move is atomic with
+// respect to publishes: each publish snapshots membership once, so a
+// migrating member lands in exactly one class per block — no block is
+// duplicated or dropped across the migration.
+func (m *Member) Migrate(to codec.Method) {
+	c := m.ch
+	c.mu.Lock()
+	if m.left || m.method == to {
+		c.mu.Unlock()
+		return
+	}
+	from := m.method
+	m.method = to
+	c.classDelta(from, -1)
+	c.classDelta(to, +1)
+	c.mu.Unlock()
+	c.p.migrations.Inc()
+}
+
+// Leave removes the member. Frames already delivered to its queue remain
+// owned by the caller (release them on teardown); publishes snapshotted
+// before Leave may still offer deliveries, which the member's DeliverFunc
+// must refuse.
+func (m *Member) Leave() {
+	c := m.ch
+	c.mu.Lock()
+	if m.left {
+		c.mu.Unlock()
+		return
+	}
+	m.left = true
+	delete(c.members, m)
+	c.classDelta(m.method, -1)
+	c.mu.Unlock()
+}
+
+// classDelta maintains the per-method membership count and the
+// chan.<name>.classes gauge incrementally — O(1) per join, migration, and
+// leave, so a 10k-subscriber migration storm never rescans membership.
+// Caller holds c.mu.
+func (c *Channel) classDelta(m codec.Method, d int) {
+	n := c.classCount[m] + d
+	if n <= 0 {
+		delete(c.classCount, m)
+	} else {
+		c.classCount[m] = n
+	}
+	c.classesGauge.Set(int64(len(c.classCount)))
+}
+
+// Publish fans one stamped block out: snapshot the method classes, probe
+// the block once, and submit one pre-decided encode job per distinct
+// method. Delivery happens asynchronously on the pipeline's in-order
+// sequencer. The caller serializes Publish per channel (the broker holds
+// its channel-state lock), which satisfies the pipeline's single-owner
+// submit contract.
+func (c *Channel) Publish(data []byte, seq uint64) {
+	c.mu.Lock()
+	if len(c.members) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	classes := make(map[codec.Method][]*Member, 4)
+	for m := range c.members {
+		classes[m.method] = append(classes[m.method], m)
+	}
+	c.mu.Unlock()
+
+	probe := c.ProbeFor(data, seq)
+	at := time.Now()
+
+	c.pipeMu.Lock()
+	defer c.pipeMu.Unlock()
+	if c.pipeClosed {
+		return
+	}
+	for method, members := range classes {
+		c.pushPending(pendingJob{
+			seq: seq, method: method, members: members,
+			data: data, probe: probe, at: at,
+		})
+		if err := c.pipe.SubmitMethod(data, method, seq); err != nil {
+			c.popPendingTail()
+			c.p.errors.Inc()
+			c.p.logf("encplane: %s: submit %s: %v", c.name, method, err)
+			return
+		}
+	}
+}
+
+// fanOut runs on the pipeline sequencer: account the fresh frame, deliver
+// it to every class member, and park it in the cache for resume replays.
+func (c *Channel) fanOut(f *Frame, job pendingJob, r core.BlockResult) {
+	c.p.encodes.Inc()
+	c.p.misses.Inc()
+	c.p.encBytes.Add(int64(f.Len()))
+	c.p.encLat.ObserveDuration(r.CompressTime)
+
+	delivered := 0
+	for _, mb := range job.members {
+		f.Retain()
+		if mb.deliver(Delivery{Frame: f, Data: job.data, Probe: job.probe, At: job.at}) {
+			delivered++
+		} else {
+			f.Release()
+		}
+	}
+	c.p.deliveries.Add(int64(delivered))
+	if c.p.trace != nil {
+		c.p.trace.Add(obs.Record{
+			Stream:    "encplane",
+			Block:     int(job.seq),
+			BlockLen:  len(job.data),
+			Method:    f.info.Method.String(),
+			Reason:    fmt.Sprintf("encoded once for %d subscriber(s)", len(job.members)),
+			WireBytes: f.Len(),
+			Ratio:     f.info.Ratio(),
+			EncodeNs:  r.CompressTime.Nanoseconds(),
+			Fallback:  f.info.Fallback,
+			FrameSeq:  job.seq,
+			Class:     c.name + "/" + job.method.String(),
+			ClassSubs: len(job.members),
+			Workers:   r.Workers,
+		})
+	}
+	c.putCache(f) // transfers the creator reference
+}
+
+// EncodeCached returns the (seq, method) frame, serving from the cache when
+// possible and encoding synchronously otherwise. The caller owns one frame
+// reference. Resume replays and post-migration dequeues use this: however
+// many subscribers need the same (block, method) pair, it is encoded at most
+// once while the frame stays cached.
+func (c *Channel) EncodeCached(data []byte, seq uint64, m codec.Method) (*Frame, error) {
+	c.mu.Lock()
+	if f, ok := c.cache.get(seq, m); ok {
+		f.Retain()
+		c.mu.Unlock()
+		c.p.hits.Inc()
+		if c.p.trace != nil {
+			c.p.trace.Add(obs.Record{
+				Stream:   "encplane",
+				Method:   f.info.Method.String(),
+				Reason:   "replay served from frame cache",
+				FrameSeq: seq,
+				Class:    c.name + "/" + m.String(),
+				CacheHit: true,
+			})
+		}
+		return f, nil
+	}
+	c.mu.Unlock()
+
+	bufp := c.p.bufs.Get().(*[]byte)
+	start := time.Now()
+	frame, info, err := codec.AppendFrameSeq((*bufp)[:0], c.p.reg, m, data, seq)
+	if err != nil {
+		c.p.bufs.Put(bufp)
+		c.p.errors.Inc()
+		return nil, err
+	}
+	*bufp = frame
+	c.p.encodes.Inc()
+	c.p.misses.Inc()
+	c.p.encBytes.Add(int64(len(frame)))
+	c.p.encLat.ObserveDuration(time.Since(start))
+	f := c.newFrame(bufp, frame, seq, m, info)
+	f.Retain()    // the caller's reference
+	c.putCache(f) // transfers the creator reference
+	return f, nil
+}
+
+// ProbeFor returns the block's sampling probe, computing and caching it on
+// first use so one probe serves every class and every replay of the block.
+func (c *Channel) ProbeFor(data []byte, seq uint64) sampling.ProbeResult {
+	c.mu.Lock()
+	if p, ok := c.probes.get(seq); ok {
+		c.mu.Unlock()
+		return p
+	}
+	c.mu.Unlock()
+	p := c.p.smp.Probe(data)
+	c.mu.Lock()
+	c.probes.put(seq, p)
+	c.mu.Unlock()
+	return p
+}
+
+// putCache hands the caller's frame reference to the cache (or straight
+// back to the pool if the cache refuses it).
+func (c *Channel) putCache(f *Frame) {
+	c.mu.Lock()
+	evicted := c.cache.put(f)
+	c.mu.Unlock()
+	for _, e := range evicted {
+		if e != f {
+			c.p.evictions.Inc()
+		}
+		e.Release()
+	}
+}
+
+// close flushes the pipeline (in-flight blocks still reach their classes)
+// and purges the cache.
+func (c *Channel) close() {
+	c.pipeMu.Lock()
+	closed := c.pipeClosed
+	c.pipeClosed = true
+	c.pipeMu.Unlock()
+	if closed {
+		return
+	}
+	if err := c.pipe.Close(); err != nil {
+		c.p.logf("encplane: %s: close: %v", c.name, err)
+	}
+	c.mu.Lock()
+	purged := c.cache.purge()
+	c.mu.Unlock()
+	for _, f := range purged {
+		f.Release()
+	}
+}

@@ -1,0 +1,213 @@
+package encplane
+
+import (
+	"sync/atomic"
+
+	"ccx/internal/codec"
+	"ccx/internal/sampling"
+)
+
+// Frame is one immutable encoded wire frame shared across subscriber
+// queues. Because the broker stamps a channel's sequence number before
+// fan-out, the complete version-3 frame — header, sequence, CRC, payload —
+// is identical for every subscriber in a (channel, method) class, so one
+// encode serves them all.
+//
+// Ownership is reference counted:
+//
+//   - the creator holds one reference, which putCache either transfers to
+//     the frame cache or releases;
+//   - every queue delivery holds one reference (Retain before handing the
+//     frame to a subscriber, Release after the frame is written, dropped,
+//     or the subscriber is torn down);
+//   - the last Release returns the backing buffer to the plane's pool.
+//
+// Retain after the count reached zero, and Release past zero, panic: a
+// use-after-release is a refcount accounting bug, never something to limp
+// past.
+type Frame struct {
+	refs atomic.Int32
+	bufp *[]byte // pooled backing array; b is its prefix
+	b    []byte
+	ch   *Channel
+
+	seq    uint64
+	method codec.Method // requested method (cache key); Info.Method is the wire truth
+	info   codec.BlockInfo
+
+	// waitSeen gates the queue-wait observation: the frame's time in queue
+	// is attributed once per class (by the first dequeuer), not once per
+	// subscriber, so latency histograms and byte gauges stay honest.
+	waitSeen atomic.Bool
+}
+
+// Bytes returns the encoded frame. The slice is immutable and valid only
+// while the caller holds a reference.
+func (f *Frame) Bytes() []byte { return f.b }
+
+// Len returns the wire size of the frame.
+func (f *Frame) Len() int { return len(f.b) }
+
+// Seq returns the channel sequence number stamped into the frame.
+func (f *Frame) Seq() uint64 { return f.seq }
+
+// Info returns the encode outcome (method after any expansion fallback,
+// payload sizes, sequence).
+func (f *Frame) Info() codec.BlockInfo { return f.info }
+
+// RequestedMethod returns the method the frame was encoded for — the cache
+// key, before any expansion fallback. Consumers compare it against their own
+// current selection to detect a migration that outran their queue backlog.
+func (f *Frame) RequestedMethod() codec.Method { return f.method }
+
+// FirstWait reports true exactly once across all holders — the first
+// dequeuer observes the shared frame's queue wait on behalf of its class.
+func (f *Frame) FirstWait() bool { return f.waitSeen.CompareAndSwap(false, true) }
+
+// Retain adds a reference. The caller must already hold one.
+func (f *Frame) Retain() {
+	if f.refs.Add(1) <= 1 {
+		panic("encplane: Retain on released frame")
+	}
+}
+
+// Release drops one reference; the last one recycles the buffer.
+func (f *Frame) Release() {
+	switch n := f.refs.Add(-1); {
+	case n == 0:
+		f.ch.reclaim(f)
+	case n < 0:
+		panic("encplane: Release past zero")
+	}
+}
+
+// newFrame wraps an encoded frame held in a pooled buffer the caller owns.
+// The returned frame holds one (creator) reference.
+func (c *Channel) newFrame(bufp *[]byte, b []byte, seq uint64, m codec.Method, info codec.BlockInfo) *Frame {
+	f := &Frame{bufp: bufp, b: b, ch: c, seq: seq, method: m, info: info}
+	f.refs.Store(1)
+	c.p.framesLive.Add(1)
+	c.noteBytes(int64(len(b)))
+	return f
+}
+
+// copyFrame is newFrame for a buffer the caller does NOT own (the encode
+// pipeline recycles its scratch right after send returns): the bytes are
+// copied into a pool-backed buffer first.
+func (c *Channel) copyFrame(b []byte, seq uint64, m codec.Method, info codec.BlockInfo) *Frame {
+	bufp := c.p.bufs.Get().(*[]byte)
+	buf := append((*bufp)[:0], b...)
+	*bufp = buf
+	return c.newFrame(bufp, buf, seq, m, info)
+}
+
+// reclaim runs on the final Release: undo byte accounting, poison the
+// frame, return the buffer to the pool.
+func (c *Channel) reclaim(f *Frame) {
+	c.p.framesLive.Add(-1)
+	c.noteBytes(-int64(len(f.b)))
+	bufp := f.bufp
+	f.bufp, f.b = nil, nil // poison: Bytes after the last Release is empty
+	if bufp != nil {
+		c.p.bufs.Put(bufp)
+	}
+}
+
+// noteBytes tracks the channel's live shared-frame bytes: each distinct
+// (block, method) frame counts once, however many subscriber queues hold it.
+func (c *Channel) noteBytes(delta int64) {
+	n := c.liveBytes.Add(delta)
+	c.queuedBytes.Set(n)
+	c.queuedHWM.SetMax(n)
+}
+
+// cacheKey identifies a frame: the stamped sequence number plus the
+// requested method (the encode outcome for a given pair is deterministic,
+// expansion fallback included).
+type cacheKey struct {
+	seq uint64
+	m   codec.Method
+}
+
+// frameCache retains recently encoded frames, bounded by total wire bytes,
+// evicting oldest-inserted first (sequence numbers are monotonic, so FIFO
+// is age order). It holds one reference per entry. Guarded by Channel.mu.
+type frameCache struct {
+	maxBytes int64
+	bytes    int64
+	entries  map[cacheKey]*Frame
+	fifo     []cacheKey
+}
+
+func (fc *frameCache) get(seq uint64, m codec.Method) (*Frame, bool) {
+	f, ok := fc.entries[cacheKey{seq, m}]
+	return f, ok
+}
+
+// put inserts f, transferring the caller's reference to the cache, and
+// returns the frames evicted to stay within budget. When f cannot be
+// retained (duplicate key, zero budget, or alone over budget) it is
+// returned among the evicted, i.e. the reference comes straight back.
+func (fc *frameCache) put(f *Frame) (evicted []*Frame) {
+	k := cacheKey{f.seq, f.method}
+	if _, dup := fc.entries[k]; dup || int64(f.Len()) > fc.maxBytes {
+		return []*Frame{f}
+	}
+	if fc.entries == nil {
+		fc.entries = make(map[cacheKey]*Frame)
+	}
+	fc.entries[k] = f
+	fc.fifo = append(fc.fifo, k)
+	fc.bytes += int64(f.Len())
+	for fc.bytes > fc.maxBytes && len(fc.fifo) > 0 {
+		old := fc.fifo[0]
+		fc.fifo = fc.fifo[1:]
+		e := fc.entries[old]
+		delete(fc.entries, old)
+		fc.bytes -= int64(e.Len())
+		evicted = append(evicted, e)
+	}
+	return evicted
+}
+
+// purge empties the cache, returning every retained frame for release.
+func (fc *frameCache) purge() []*Frame {
+	out := make([]*Frame, 0, len(fc.entries))
+	for _, f := range fc.entries {
+		out = append(out, f)
+	}
+	fc.entries, fc.fifo, fc.bytes = nil, nil, 0
+	return out
+}
+
+// maxProbes bounds the per-channel probe cache. Probe results are a few
+// dozen bytes, so the window comfortably outlasts any replay ring.
+const maxProbes = 4096
+
+// probeCache retains sampling probes by sequence number so one 4 KB LZ
+// probe serves live fan-out and every resume replay of the same block.
+// Guarded by Channel.mu.
+type probeCache struct {
+	entries map[uint64]sampling.ProbeResult
+	fifo    []uint64
+}
+
+func (pc *probeCache) get(seq uint64) (sampling.ProbeResult, bool) {
+	p, ok := pc.entries[seq]
+	return p, ok
+}
+
+func (pc *probeCache) put(seq uint64, p sampling.ProbeResult) {
+	if _, dup := pc.entries[seq]; dup {
+		return
+	}
+	if pc.entries == nil {
+		pc.entries = make(map[uint64]sampling.ProbeResult)
+	}
+	pc.entries[seq] = p
+	pc.fifo = append(pc.fifo, seq)
+	for len(pc.fifo) > maxProbes {
+		delete(pc.entries, pc.fifo[0])
+		pc.fifo = pc.fifo[1:]
+	}
+}

@@ -82,6 +82,15 @@ type Record struct {
 	Dup       bool   `json:"dup,omitempty"`
 	GapBlocks uint64 `json:"gap_blocks,omitempty"`
 
+	// Shared-encode-plane records. Class labels the method-equivalence
+	// class ("<channel>/<method>") a frame was encoded for, ClassSubs how
+	// many subscribers shared that single encode, and CacheHit marks frames
+	// served from the refcounted frame cache instead of a fresh encode
+	// (resume replays and reconnect storms).
+	Class     string `json:"class,omitempty"`
+	ClassSubs int    `json:"class_subs,omitempty"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+
 	// Parallel-pipeline records. Workers is the encode worker-pool size that
 	// produced the block (1 = the sequential loop); PipeWaitNs is how long
 	// the in-order sequencer stalled waiting for this block's encode —
