@@ -4,7 +4,7 @@ BENCH_OUT ?= BENCH_$(SHA).json
 SWARM_OUT ?= swarm.json
 SWARM_SUBS ?= 1000
 
-.PHONY: all build test race vet bench bench-baseline swarm clean
+.PHONY: all build test race vet bench bench-baseline swarm breakeven clean
 
 all: build test
 
@@ -34,10 +34,19 @@ bench-baseline:
 # swarm drives the subscriber-swarm harness: SWARM_SUBS subscribers over
 # simulated links against an in-process broker, asserting the encode
 # plane's >=10x deliveries-per-encode dedup and writing delivery-latency
-# percentiles to $(SWARM_OUT).
+# percentiles to $(SWARM_OUT). Broker placement exercises the per-class
+# placement machinery at fan-out scale; the report carries the
+# per-placement delivery breakdown.
 swarm:
 	$(GO) run ./cmd/ccswarm -subs $(SWARM_SUBS) -events 16 -block 16384 \
-		-profiles gigabit,fast100 -interval 25ms -min-dedup 10 -json $(SWARM_OUT)
+		-profiles gigabit,fast100 -interval 25ms -min-dedup 10 \
+		-placement broker -json $(SWARM_OUT)
+
+# breakeven regenerates the placement break-even sweep (EXPERIMENTS.md
+# "Compression placement break-even") and its JSON artifact.
+breakeven:
+	CCX_BREAKEVEN_OUT=$(PWD)/breakeven.json CCX_BREAKEVEN_MD=$(PWD)/EXPERIMENTS.md \
+		$(GO) test -run TestPlacementBreakEven -count=1 ./tests/
 
 clean:
-	rm -f BENCH_*.json swarm.json
+	rm -f BENCH_*.json swarm.json breakeven.json

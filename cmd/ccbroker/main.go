@@ -70,6 +70,7 @@ func run(args []string, stop chan struct{}) error {
 		channels = fs.String("channels", "events", "comma-separated channel names to serve")
 		queueLen = fs.Int("queue", broker.DefaultQueueLen, "bounded outbound queue per subscriber, in events")
 		policy   = fs.String("policy", "drop", "slow-subscriber policy: drop (oldest) | evict")
+		placemnt = fs.String("placement", "publisher", "default compression placement for subscriber paths: publisher (broker-side encode, the default), receiver (ship raw, consumers decompress nothing), auto (per-path break-even); a version-3 subscriber hello overrides this per session")
 		block    = fs.Int("block", 64<<10, "block size hint for per-subscriber selection engines")
 		workers  = fs.Int("workers", 0, "encode worker goroutines in the shared encode plane, per channel; distinct (block, method) pairs compress in parallel but hit the wire in order (0 = GOMAXPROCS, 1 = sequential)")
 		cache    = fs.Int64("cache", 0, "per-channel encoded-frame cache budget in bytes, serving resume replays and post-migration re-encodes (0 = default)")
@@ -107,12 +108,17 @@ func run(args []string, stop chan struct{}) error {
 	if err != nil {
 		return err
 	}
+	pl, err := selector.ParsePlacement(*placemnt)
+	if err != nil {
+		return err
+	}
 
 	trace := obs.NewDecisionLog(*traceLen)
 	cfg := broker.Config{
 		Channels:     names,
 		QueueLen:     *queueLen,
 		Policy:       pol,
+		Placement:    pl,
 		CacheBytes:   *cache,
 		Heartbeat:    *hb,
 		ReplayBlocks: *rblocks,

@@ -49,6 +49,7 @@ import (
 	"ccx/internal/metrics"
 	"ccx/internal/netutil"
 	"ccx/internal/obs"
+	"ccx/internal/selector"
 )
 
 func main() {
@@ -76,6 +77,7 @@ func run(args []string) error {
 		resync    = fs.Bool("resync", false, "skip frames that fail their checksum and realign on the next frame boundary")
 		reconnect = fs.Int("reconnect", 0, "broker mode: redial up to N times after a transport error (0 = give up)")
 		resume    = fs.Bool("resume", false, "broker mode: resume across reconnects — present the last delivered sequence so the broker replays missed blocks and duplicates are suppressed")
+		placement = fs.String("placement", "", "broker mode: advertise a compression placement for this subscription (publisher | broker | receiver | auto; empty keeps the broker's default and a legacy handshake)")
 		watchdog  = fs.Duration("watchdog", 0, "broker mode: treat a connection that delivers no bytes for this long as dead and reconnect (0 disables)")
 		debug     = fs.String("debug", "", "serve /metrics, /debug/vars, /debug/decisions, and /debug/pprof on this HTTP address (empty disables)")
 		interval  = fs.Duration("metrics-interval", 0, "dump a metrics JSON snapshot to stderr at this interval (0 disables)")
@@ -95,6 +97,16 @@ func run(args []string) error {
 	}
 	if *watchdog > 0 && *addr == "" {
 		return fmt.Errorf("-watchdog only applies to broker mode (-addr/-channel)")
+	}
+	var pl selector.Placement
+	if *placement != "" {
+		if *addr == "" {
+			return fmt.Errorf("-placement only applies to broker mode (-addr/-channel)")
+		}
+		var err error
+		if pl, err = selector.ParsePlacement(*placement); err != nil {
+			return err
+		}
 	}
 	var dst io.Writer = os.Stdout
 	if *out != "" {
@@ -144,6 +156,8 @@ func run(args []string) error {
 			reconnect: *reconnect,
 			track:     track,
 			tel:       tel,
+			placement: pl,
+			advertise: *placement != "",
 		})
 	} else {
 		err = listenOnce(dst, stats, *listen, *timeout, *resync, *verbose, tel)
@@ -191,6 +205,8 @@ type subOpts struct {
 	reconnect         int
 	track             *core.DeliveryTracker // non-nil: -resume session state
 	tel               core.Telemetry
+	placement         selector.Placement // advertised placement (version-3 hello)
+	advertise         bool               // false: legacy handshake, broker default
 }
 
 // subscribeLoop dials the broker and receives, redialing with capped
@@ -239,7 +255,13 @@ func subscribeOnce(dst io.Writer, stats *recvStats, o subOpts) error {
 	resumed := false
 	if o.track != nil {
 		if last, started := o.track.LastDelivered(); started {
-			firstSeq, err := broker.HandshakeResume(hsConn, o.channel, last)
+			var firstSeq uint64
+			var err error
+			if o.advertise {
+				firstSeq, err = broker.HandshakeResumePlacement(hsConn, o.channel, last, o.placement)
+			} else {
+				firstSeq, err = broker.HandshakeResume(hsConn, o.channel, last)
+			}
 			if err != nil {
 				return fmt.Errorf("resume %q from seq %d: %w", o.channel, last, err)
 			}
@@ -255,7 +277,13 @@ func subscribeOnce(dst io.Writer, stats *recvStats, o subOpts) error {
 		}
 	}
 	if !resumed {
-		if err := broker.HandshakeSubscribe(hsConn, o.channel); err != nil {
+		var err error
+		if o.advertise {
+			err = broker.HandshakeSubscribePlacement(hsConn, o.channel, o.placement)
+		} else {
+			err = broker.HandshakeSubscribe(hsConn, o.channel)
+		}
+		if err != nil {
 			return fmt.Errorf("subscribe to %q: %w", o.channel, err)
 		}
 		fmt.Fprintf(os.Stderr, "subscribed to %q on %s\n", o.channel, o.addr)

@@ -48,6 +48,7 @@ func run(args []string) error {
 	var (
 		addr      = fs.String("addr", "127.0.0.1:9900", "receiver or broker address")
 		channel   = fs.String("channel", "", "publish into this ccbroker channel instead of a raw ccrecv peer")
+		placement = fs.String("placement", "publisher", "where compression runs: publisher (inline, the default), broker (ship raw, the broker compresses per subscriber; needs -channel), receiver (ship raw end to end), auto (offload whenever the link outruns the codec)")
 		blockSize = fs.Int("block", selector.DefaultBlockSize, "block size in bytes")
 		workers   = fs.Int("workers", 0, "encode worker goroutines; blocks are compressed in parallel but framed in order (0 = GOMAXPROCS, 1 = the sequential loop)")
 		timeout   = fs.Duration("timeout", 0, "dial timeout and per-operation I/O deadline (0 = none)")
@@ -94,7 +95,22 @@ func run(args []string) error {
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
-	engine, err := core.NewEngine(core.Config{Selector: cfg, Telemetry: tel, Workers: nw})
+	pl, err := selector.ParsePlacement(*placement)
+	if err != nil {
+		return err
+	}
+	if pl == selector.PlacementBroker && *channel == "" {
+		return fmt.Errorf("-placement broker needs -channel (a raw ccrecv peer has no broker hop)")
+	}
+	plc := selector.PlacementPolicy{
+		Mode: pl,
+		Node: selector.PlacementPublisher,
+		// With a broker hop downstream, auto-offload targets the broker
+		// (it re-compresses per subscriber); point-to-point it targets the
+		// receiver.
+		Brokered: *channel != "",
+	}
+	engine, err := core.NewEngine(core.Config{Selector: cfg, Telemetry: tel, Workers: nw, Placement: plc})
 	if err != nil {
 		return err
 	}
@@ -115,7 +131,14 @@ func run(args []string) error {
 	defer conn.Close()
 	wire := netutil.WithTimeout(conn, *timeout)
 	if *channel != "" {
-		if err := broker.HandshakePublish(wire, *channel); err != nil {
+		if pl != selector.PlacementPublisher {
+			err = broker.HandshakePublishPlacement(wire, *channel, pl)
+		} else {
+			// Legacy (version-1) hello: works against brokers that predate
+			// the placement dimension.
+			err = broker.HandshakePublish(wire, *channel)
+		}
+		if err != nil {
 			return fmt.Errorf("publish to %q: %w", *channel, err)
 		}
 	}

@@ -107,6 +107,14 @@ func renderLine(now time.Time, prev, cur map[string]float64, dt time.Duration) s
 	if mix := methodMix(prev, cur); mix != "" {
 		seg = append(seg, mix)
 	}
+	// Compression placement: where the interval's blocks were (or will be)
+	// compressed. Brokers expose per-class delivery counts, senders the
+	// per-block placement decisions; either renders as e.g.
+	// "plc[publisher=40 receiver=8]", and the segment disappears entirely on
+	// endpoints (or intervals) without placement activity.
+	if plc := placementMix(prev, cur); plc != "" {
+		seg = append(seg, plc)
+	}
 	if subs, ok := cur["broker.subscribers"]; ok {
 		seg = append(seg, fmt.Sprintf("subs %.0f", subs))
 	}
@@ -173,6 +181,40 @@ func methodMix(prev, cur map[string]float64) string {
 			parts[i] = fmt.Sprintf("%s=%.0f", m.name, m.n)
 		}
 		return "[" + strings.Join(parts, " ") + "]"
+	}
+	return ""
+}
+
+// placementMix summarizes where the interval's blocks were compressed,
+// e.g. "plc[publisher=40 receiver=8]". Broker endpoints expose
+// encplane.placement.* (per-class deliveries), senders ccx.tx_placement.*
+// (per-block decisions); the busier family wins, matching methodMix.
+func placementMix(prev, cur map[string]float64) string {
+	for _, prefix := range []string{"encplane.placement.", "ccx.tx_placement."} {
+		type pc struct {
+			name string
+			n    float64
+		}
+		var mix []pc
+		for key, v := range cur {
+			if d := v - prev[key]; strings.HasPrefix(key, prefix) && d > 0 {
+				mix = append(mix, pc{strings.TrimPrefix(key, prefix), d})
+			}
+		}
+		if len(mix) == 0 {
+			continue
+		}
+		sort.Slice(mix, func(i, j int) bool {
+			if mix[i].n != mix[j].n {
+				return mix[i].n > mix[j].n
+			}
+			return mix[i].name < mix[j].name
+		})
+		parts := make([]string, len(mix))
+		for i, p := range mix {
+			parts[i] = fmt.Sprintf("%s=%.0f", p.name, p.n)
+		}
+		return "plc[" + strings.Join(parts, " ") + "]"
 	}
 	return ""
 }

@@ -69,6 +69,12 @@ type report struct {
 	EncodeCPU   float64 `json:"encode_cpu_sec"` // summed encode latency
 	Classes     int64   `json:"classes"`
 
+	// Placement is the broker-side default placement the run used, and
+	// PlacementDeliveries breaks plane deliveries down by the placement of
+	// the class they served (only non-zero placements appear).
+	Placement           string           `json:"placement"`
+	PlacementDeliveries map[string]int64 `json:"placement_deliveries,omitempty"`
+
 	LatencyP50 float64 `json:"latency_p50_sec"`
 	LatencyP90 float64 `json:"latency_p90_sec"`
 	LatencyP99 float64 `json:"latency_p99_sec"`
@@ -85,6 +91,7 @@ func run(args []string, out io.Writer) error {
 		workers  = fs.Int("workers", 0, "encode plane worker pool (0 = GOMAXPROCS)")
 		queue    = fs.Int("queue", 1024, "outbound queue per subscriber, in events")
 		policy   = fs.String("policy", "drop", "slow-subscriber policy: drop | evict")
+		placemnt = fs.String("placement", "publisher", "broker-side default compression placement for the swarm's paths: publisher | broker | receiver | auto")
 		seed     = fs.Int64("seed", 1, "payload and link-jitter seed")
 		jsonPath = fs.String("json", "", `write the JSON report here ("-" = stdout)`)
 		minDedup = fs.Float64("min-dedup", 0, "fail the run when deliveries/encodes falls below this floor (0 disables)")
@@ -104,11 +111,16 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	pl, err := selector.ParsePlacement(*placemnt)
+	if err != nil {
+		return err
+	}
 
 	cfg := broker.Config{
 		Channels:  []string{"swarm"},
 		QueueLen:  *queue,
 		Policy:    pol,
+		Placement: pl,
 		Heartbeat: -1, // deterministic streams
 		Metrics:   metrics.NewRegistry(),
 	}
@@ -202,6 +214,7 @@ func run(args []string, out io.Writer) error {
 		CacheMisses: met.Counter("encplane.cache_misses").Value(),
 		EncodeCPU:   met.Histogram("encplane.encode_seconds", metrics.LatencyBuckets).Sum(),
 		Classes:     classes,
+		Placement:   pl.String(),
 		LatencyP50:  snap.Quantile(0.50),
 		LatencyP90:  snap.Quantile(0.90),
 		LatencyP99:  snap.Quantile(0.99),
@@ -209,11 +222,28 @@ func run(args []string, out io.Writer) error {
 	if r.Encodes > 0 {
 		r.Dedup = float64(r.Deliveries) / float64(r.Encodes)
 	}
+	for p := selector.Placement(0); p < selector.NumPlacements; p++ {
+		if n := met.Counter(fmt.Sprintf("encplane.placement.%s", p)).Value(); n > 0 {
+			if r.PlacementDeliveries == nil {
+				r.PlacementDeliveries = make(map[string]int64)
+			}
+			r.PlacementDeliveries[p.String()] = n
+		}
+	}
 
-	fmt.Fprintf(out, "subs=%d events=%d block=%dB elapsed=%.2fs\n",
-		r.Subscribers, r.Events, r.BlockBytes, r.ElapsedSec)
+	fmt.Fprintf(out, "subs=%d events=%d block=%dB elapsed=%.2fs placement=%s\n",
+		r.Subscribers, r.Events, r.BlockBytes, r.ElapsedSec, r.Placement)
 	fmt.Fprintf(out, "delivered=%d encodes=%d deliveries=%d dedup=%.1fx classes=%d cache=%d/%d encode_cpu=%.3fs\n",
 		r.Delivered, r.Encodes, r.Deliveries, r.Dedup, r.Classes, r.CacheHits, r.CacheHits+r.CacheMisses, r.EncodeCPU)
+	if len(r.PlacementDeliveries) > 0 {
+		var parts []string
+		for p := selector.Placement(0); p < selector.NumPlacements; p++ {
+			if n, ok := r.PlacementDeliveries[p.String()]; ok {
+				parts = append(parts, fmt.Sprintf("%s=%d", p, n))
+			}
+		}
+		fmt.Fprintf(out, "placement deliveries: %s\n", strings.Join(parts, " "))
+	}
 	fmt.Fprintf(out, "latency p50=%.1fms p90=%.1fms p99=%.1fms\n",
 		r.LatencyP50*1e3, r.LatencyP90*1e3, r.LatencyP99*1e3)
 

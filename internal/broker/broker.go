@@ -133,6 +133,16 @@ type Config struct {
 	// the shared plane — Workers sets the plane's per-channel encode pool.
 	// The Registry is shared; nil means the built-in codec set.
 	Engine core.Config
+	// Placement is the default compression placement for subscriber paths:
+	// where each subscriber's blocks get compressed relative to this broker
+	// hop. The zero value (publisher) keeps broker-side encoding — the
+	// pre-placement behaviour, since from a subscriber's viewpoint the
+	// broker *is* the publishing hop. PlacementReceiver ships raw frames and
+	// lets consumers compress (or not) themselves; PlacementAuto lets each
+	// subscriber's own goodput/reducing-speed balance decide per block. A
+	// version-3 handshake that advertises a placement overrides this default
+	// for that session only.
+	Placement selector.Placement
 	// HandshakeTimeout bounds the initial handshake exchange
 	// (DefaultHandshakeTimeout if 0).
 	HandshakeTimeout time.Duration
@@ -278,6 +288,9 @@ func New(cfg Config) (*Broker, error) {
 	}
 	if cfg.ReplayBytes > 0 && cfg.ReplayBlocks == 0 {
 		cfg.ReplayBlocks = DefaultReplayBlocks
+	}
+	if !cfg.Placement.Valid() {
+		return nil, fmt.Errorf("broker: invalid placement %s", cfg.Placement)
 	}
 	if cfg.Engine.Registry == nil {
 		cfg.Engine.Registry = codec.NewRegistry()
@@ -442,6 +455,20 @@ func (b *Broker) handle(conn net.Conn) {
 		return
 	}
 
+	// Placement resolution: an advertised (version-3) placement overrides
+	// the broker's configured default for this session. An unknown wire byte
+	// was already degraded to publisher by the parser; count it so operators
+	// can see version skew instead of silently-inline sessions.
+	pl := b.cfg.Placement
+	if hs.hasPlacement {
+		pl = hs.placement
+		if hs.placementDegraded {
+			b.met.Counter("broker.placement_degraded").Inc()
+			b.logf("broker: %c on %q advertised unknown placement byte, degrading to %s",
+				hs.role, hs.channel, pl)
+		}
+	}
+
 	switch hs.role {
 	case RolePublish:
 		b.mu.Lock()
@@ -461,12 +488,19 @@ func (b *Broker) handle(conn net.Conn) {
 			return
 		}
 		_ = conn.SetDeadline(time.Time{})
-		b.logf("broker: publisher attached to %q", hs.channel)
+		if hs.hasPlacement {
+			// Informational only: the publisher enforces its half by shipping
+			// raw frames when it offloads; the broker decodes either way.
+			b.met.Counter(fmt.Sprintf("broker.pub_placement.%s", pl)).Inc()
+			b.logf("broker: publisher attached to %q (placement %s)", hs.channel, pl)
+		} else {
+			b.logf("broker: publisher attached to %q", hs.channel)
+		}
 		b.handlePublisher(conn, hs.channel)
 
 	case RoleSubscribe, RoleResume:
 		resume := hs.role == RoleResume
-		s, firstSeq, err := b.addSubscriber(conn, hs.channel, resume, hs.lastSeq)
+		s, firstSeq, err := b.addSubscriber(conn, hs.channel, pl, resume, hs.lastSeq)
 		if err != nil {
 			_ = writeReply(conn, err)
 			conn.Close()
@@ -582,9 +616,10 @@ type subscriber struct {
 	qmu  sync.Mutex
 	dead bool
 
-	curMethod codec.Method      // current class method (write-loop only)
-	lastDec   selector.Decision // decision that chose curMethod, for traces
-	blocks    int               // ordinal of the next block, for trace records
+	curMethod    codec.Method       // current class method (write-loop only)
+	curPlacement selector.Placement // current class placement (write-loop only)
+	lastDec      selector.Decision  // decision that chose curMethod, for traces
+	blocks       int                // ordinal of the next block, for trace records
 
 	bytesIn   *metrics.Counter
 	bytesOut  *metrics.Counter
@@ -595,12 +630,13 @@ type subscriber struct {
 	queueWait *metrics.Histogram
 }
 
-// addSubscriber builds a subscriber session. For a resume it additionally
-// snapshots the replay backlog and reports the first sequence number the
-// session will deliver; snapshot, subscription, and registration happen
-// atomically with respect to publishes (the channel-state lock), so no
-// block can fall between the replay window and the live stream.
-func (b *Broker) addSubscriber(conn net.Conn, channel string, resume bool, lastSeq uint64) (*subscriber, uint64, error) {
+// addSubscriber builds a subscriber session with the resolved placement pl.
+// For a resume it additionally snapshots the replay backlog and reports the
+// first sequence number the session will deliver; snapshot, subscription,
+// and registration happen atomically with respect to publishes (the
+// channel-state lock), so no block can fall between the replay window and
+// the live stream.
+func (b *Broker) addSubscriber(conn net.Conn, channel string, pl selector.Placement, resume bool, lastSeq uint64) (*subscriber, uint64, error) {
 	// Reserve the subscriber's id first: the engine's telemetry stream
 	// label ("sub.<id>") needs it before the engine is built.
 	b.mu.Lock()
@@ -617,6 +653,15 @@ func (b *Broker) addSubscriber(conn net.Conn, channel string, resume bool, lastS
 		Metrics: b.met,
 		Trace:   b.cfg.Trace,
 		Stream:  fmt.Sprintf("sub.%d", id),
+	}
+	// The broker is the deciding node on every subscriber path: "publisher"
+	// placement here means broker-side (inline) encoding, "receiver" ships
+	// raw and offloads downstream, "auto" flips between the two from this
+	// path's own goodput/reducing-speed balance.
+	ecfg.Placement = selector.PlacementPolicy{
+		Mode:          pl,
+		Node:          selector.PlacementBroker,
+		OffloadFactor: b.cfg.Engine.Placement.OffloadFactor,
 	}
 	engine, err := core.NewEngine(ecfg)
 	if err != nil {
@@ -654,8 +699,11 @@ func (b *Broker) addSubscriber(conn net.Conn, channel string, resume bool, lastS
 	// after the snapshot; blocks submitted earlier but still in flight on
 	// the plane predate the join and (for resumes) sit in the replay
 	// snapshot instead. The membership must exist before s is published in
-	// b.subs (teardown leaves it unconditionally).
-	s.member = st.plane.Join(codec.None, func(d encplane.Delivery) bool {
+	// b.subs (teardown leaves it unconditionally). The initial class is
+	// (None, decided placement): unmeasured paths start raw, and adapt
+	// migrates both dimensions from the first delivery on.
+	s.curPlacement = engine.Placement().Decide(selector.Inputs{})
+	s.member = st.plane.JoinPlaced(codec.None, s.curPlacement, func(d encplane.Delivery) bool {
 		return s.deliver(b, d)
 	})
 	b.mu.Lock()
@@ -902,12 +950,17 @@ func (s *subscriber) observeBlock(b *Broker, info codec.BlockInfo, sendTime time
 // send time, migrating the member's class when the choice changes. It runs
 // before each write, so the decision applies to the block about to be sent —
 // identical timing to a per-subscriber encode loop (see DESIGN.md §11).
+// Placement runs inside the same decision: a path whose link outruns its
+// codec flips to receiver-side placement, which surfaces here as Method
+// None with Decision.Offloaded set, and the member migrates to the raw
+// (None, receiver) class.
 func (s *subscriber) adapt(blockLen int, probe sampling.ProbeResult) {
 	dec := s.engine.DecideProbed(blockLen, probe)
 	s.lastDec = dec
-	if dec.Method != s.curMethod {
+	if dec.Method != s.curMethod || dec.Placement != s.curPlacement {
 		s.curMethod = dec.Method
-		s.member.Migrate(dec.Method)
+		s.curPlacement = dec.Placement
+		s.member.MigratePlaced(dec.Method, dec.Placement)
 	}
 }
 

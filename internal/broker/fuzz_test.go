@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+
+	"ccx/internal/selector"
 )
 
 // FuzzHandshake throws arbitrary bytes at the server-side handshake/RESUME
@@ -20,6 +22,12 @@ func FuzzHandshake(f *testing.F) {
 	f.Add([]byte("CCB\x01S\x02md"))
 	f.Add([]byte("CCB\x01P\x02md"))
 	f.Add([]byte("CCB\x02R\x02md\x2a"))
+	f.Add([]byte("CCB\x03S\x02mdB"))       // v3 subscribe, broker placement
+	f.Add([]byte("CCB\x03P\x02mdR"))       // v3 publish, receiver placement
+	f.Add([]byte("CCB\x03R\x02md\x2aA"))   // v3 resume, auto placement
+	f.Add([]byte("CCB\x03S\x02md\x00"))    // v3 with unknown placement byte
+	f.Add([]byte("CCB\x03S\x02mdZ"))       // v3 with unknown placement byte
+	f.Add([]byte("CCB\x03S\x02md"))        // v3 truncated before placement
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
 		hs, err := readHandshake(r)
@@ -29,8 +37,8 @@ func FuzzHandshake(f *testing.F) {
 		// The parser must never consume bytes past the handshake: the frame
 		// stream begins immediately after it. The longest legal hello is
 		// magic+version+role (5) + channel length uvarint (2 for <=255) +
-		// channel (255) + lastSeq uvarint (10).
-		if consumed := len(data) - r.Len(); consumed > 5+2+255+10 {
+		// channel (255) + lastSeq uvarint (10) + placement (1).
+		if consumed := len(data) - r.Len(); consumed > 5+2+255+10+1 {
 			t.Fatalf("parser consumed %d bytes", consumed)
 		}
 		switch hs.role {
@@ -44,10 +52,25 @@ func FuzzHandshake(f *testing.F) {
 		if hs.role != RoleResume && hs.lastSeq != 0 {
 			t.Fatalf("non-resume hello carries lastSeq %d", hs.lastSeq)
 		}
-		// Canonical re-encode must parse back to the same hello.
+		if hs.hasPlacement && !hs.placement.Valid() {
+			t.Fatalf("accepted invalid placement %d", hs.placement)
+		}
+		if !hs.hasPlacement && (hs.placement != selector.PlacementPublisher || hs.placementDegraded) {
+			t.Fatalf("pre-placement hello carries placement state: %+v", hs)
+		}
+		// An unknown placement byte must degrade to publisher, never error.
+		if hs.placementDegraded && hs.placement != selector.PlacementPublisher {
+			t.Fatalf("degraded placement is %s, want publisher", hs.placement)
+		}
+		// Canonical re-encode must parse back to the same hello. A degraded
+		// placement re-encodes canonically (the 'P' wire byte), so the parse
+		// back is non-degraded by construction: clear the flag first.
 		ver := byte(ProtocolVersion)
 		if hs.role == RoleResume {
 			ver = ProtocolVersionResume
+		}
+		if hs.hasPlacement {
+			ver = ProtocolVersionPlacement
 		}
 		msg := append([]byte{}, handshakeMagic[:]...)
 		msg = append(msg, ver, hs.role)
@@ -56,6 +79,10 @@ func FuzzHandshake(f *testing.F) {
 		if hs.role == RoleResume {
 			msg = binary.AppendUvarint(msg, hs.lastSeq)
 		}
+		if hs.hasPlacement {
+			msg = append(msg, hs.placement.WireByte())
+		}
+		hs.placementDegraded = false
 		hs2, err := readHandshake(bytes.NewReader(msg))
 		if err != nil {
 			t.Fatalf("canonical re-encode rejected: %v", err)
@@ -67,19 +94,30 @@ func FuzzHandshake(f *testing.F) {
 }
 
 // FuzzHandshakeRoundtrip drives the parser through the structured space:
-// any role byte, channel, and resume sequence, encoded exactly as the
-// client side does. Valid inputs must parse to the same fields; invalid
-// ones must be rejected, never mangled.
+// any role byte, channel, resume sequence, and (when advertised) placement
+// byte, encoded exactly as the client side does. Valid inputs must parse to
+// the same fields; invalid ones must be rejected, never mangled — with one
+// deliberate exception: an unknown placement byte in an otherwise valid v3
+// hello degrades to publisher-side compression rather than refusing the
+// session (forward compatibility for placements we haven't invented yet).
 func FuzzHandshakeRoundtrip(f *testing.F) {
-	f.Add(uint8('S'), "md", uint64(0))
-	f.Add(uint8('P'), "audit", uint64(0))
-	f.Add(uint8('R'), "md", uint64(1<<40))
-	f.Add(uint8('X'), "md", uint64(7))
-	f.Add(uint8('R'), "", uint64(3))
-	f.Fuzz(func(t *testing.T, role uint8, channel string, lastSeq uint64) {
+	f.Add(uint8('S'), "md", uint64(0), false, uint8(0))
+	f.Add(uint8('P'), "audit", uint64(0), false, uint8(0))
+	f.Add(uint8('R'), "md", uint64(1<<40), false, uint8(0))
+	f.Add(uint8('X'), "md", uint64(7), false, uint8(0))
+	f.Add(uint8('R'), "", uint64(3), false, uint8(0))
+	f.Add(uint8('S'), "md", uint64(0), true, uint8('B'))
+	f.Add(uint8('P'), "md", uint64(0), true, uint8('R'))
+	f.Add(uint8('R'), "md", uint64(9), true, uint8('A'))
+	f.Add(uint8('S'), "md", uint64(0), true, uint8('z')) // unknown placement
+	f.Add(uint8('S'), "md", uint64(0), true, uint8(0))   // unknown placement
+	f.Fuzz(func(t *testing.T, role uint8, channel string, lastSeq uint64, advertise bool, plByte uint8) {
 		ver := byte(ProtocolVersion)
 		if role == RoleResume {
 			ver = ProtocolVersionResume
+		}
+		if advertise {
+			ver = ProtocolVersionPlacement
 		}
 		msg := append([]byte{}, handshakeMagic[:]...)
 		msg = append(msg, ver, role)
@@ -87,6 +125,9 @@ func FuzzHandshakeRoundtrip(f *testing.F) {
 		msg = append(msg, channel...)
 		if role == RoleResume {
 			msg = binary.AppendUvarint(msg, lastSeq)
+		}
+		if advertise {
+			msg = append(msg, plByte)
 		}
 		hs, err := readHandshake(bytes.NewReader(msg))
 		valid := (role == RolePublish || role == RoleSubscribe || role == RoleResume) &&
@@ -102,6 +143,16 @@ func FuzzHandshakeRoundtrip(f *testing.F) {
 		}
 		if role == RoleResume && hs.lastSeq != lastSeq {
 			t.Fatalf("lastSeq = %d, want %d", hs.lastSeq, lastSeq)
+		}
+		if hs.hasPlacement != advertise {
+			t.Fatalf("hasPlacement = %v, want %v", hs.hasPlacement, advertise)
+		}
+		if advertise {
+			want, known := selector.PlacementFromWire(plByte)
+			if hs.placement != want || hs.placementDegraded != !known {
+				t.Fatalf("placement byte %q parsed to (%s, degraded=%v), want (%s, degraded=%v)",
+					plByte, hs.placement, hs.placementDegraded, want, !known)
+			}
 		}
 	})
 }

@@ -1,0 +1,220 @@
+package broker
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"ccx/internal/codec"
+	"ccx/internal/selector"
+)
+
+// readAllFrames drains event frames from conn until EOF/close, skipping
+// heartbeats, and keeps each frame's wire method alongside its payload.
+func readAllFrames(conn net.Conn) (events [][]byte, methods []codec.Method) {
+	fr := codec.NewFrameReader(conn, nil)
+	for {
+		data, info, err := fr.ReadBlock()
+		if err != nil {
+			return events, methods
+		}
+		if len(data) == 0 {
+			continue
+		}
+		events = append(events, data)
+		methods = append(methods, info.Method)
+	}
+}
+
+// TestPlacementReceiverShipsRaw pins receiver-side placement as the broker
+// default: every frame toward a (legacy, non-advertising) subscriber must be
+// Method None with byte-identical payloads, even for data the method
+// selector would otherwise love to compress.
+func TestPlacementReceiverShipsRaw(t *testing.T) {
+	b := newTestBroker(t, func(c *Config) { c.Placement = selector.PlacementReceiver })
+	conn := attachSubscriber(t, b, "md")
+	done := make(chan struct{})
+	var events [][]byte
+	var methods []codec.Method
+	go func() {
+		defer close(done)
+		events, methods = readAllFrames(conn)
+	}()
+	var want [][]byte
+	for i := 0; i < 8; i++ {
+		ev := bytes.Repeat([]byte{byte('a' + i)}, 4096) // maximally compressible
+		want = append(want, ev)
+		if err := b.Publish("md", ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	<-done
+	if len(events) != len(want) {
+		t.Fatalf("%d events, want %d", len(events), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(events[i], want[i]) {
+			t.Fatalf("event %d differs", i)
+		}
+		if methods[i] != codec.None {
+			t.Fatalf("event %d shipped as %s, want None under receiver placement", i, methods[i])
+		}
+	}
+	if n := b.Metrics().Counter("encplane.placement.receiver").Value(); n == 0 {
+		t.Fatal("encplane.placement.receiver counter never incremented")
+	}
+}
+
+// TestPlacementAdvertOverridesDefault lets a version-3 subscriber advertise
+// receiver placement against a publisher-default broker; its session must
+// run raw while a legacy subscriber on the same channel keeps the default.
+func TestPlacementAdvertOverridesDefault(t *testing.T) {
+	b := newTestBroker(t, nil) // default placement: publisher (broker encodes)
+	client, server := net.Pipe()
+	b.HandleConn(server)
+	if err := HandshakeSubscribePlacement(client, "md", selector.PlacementReceiver); err != nil {
+		t.Fatalf("placement handshake: %v", err)
+	}
+	t.Cleanup(func() { client.Close() })
+	done := make(chan struct{})
+	var events [][]byte
+	var methods []codec.Method
+	go func() {
+		defer close(done)
+		events, methods = readAllFrames(client)
+	}()
+	var want [][]byte
+	for i := 0; i < 6; i++ {
+		ev := bytes.Repeat([]byte("abcd"), 1024)
+		want = append(want, ev)
+		if err := b.Publish("md", ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	<-done
+	if len(events) != len(want) {
+		t.Fatalf("%d events, want %d", len(events), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(events[i], want[i]) {
+			t.Fatalf("event %d differs", i)
+		}
+		if methods[i] != codec.None {
+			t.Fatalf("event %d shipped as %s, want None for advertised receiver placement",
+				i, methods[i])
+		}
+	}
+}
+
+// TestPlacementUnknownByteDegrades sends a hand-crafted version-3 hello with
+// a placement byte the broker has never heard of. The regression contract
+// (see readHandshake) is degrade-don't-refuse: the session is accepted as
+// publisher-side, events flow byte-identically, and the degradation is
+// counted so operators can see the version skew.
+func TestPlacementUnknownByteDegrades(t *testing.T) {
+	b := newTestBroker(t, nil)
+	client, server := net.Pipe()
+	b.HandleConn(server)
+	t.Cleanup(func() { client.Close() })
+	// magic + v3 + subscribe + channel "md" + unknown placement byte 'Q'.
+	hello := []byte("CCB\x03S\x02mdQ")
+	if _, err := client.Write(hello); err != nil {
+		t.Fatalf("hello write: %v", err)
+	}
+	var status [1]byte
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := client.Read(status[:]); err != nil {
+		t.Fatalf("status read: %v", err)
+	}
+	if status[0] != statusOK {
+		t.Fatalf("status = %d, want accept: unknown placement must degrade, not refuse", status[0])
+	}
+	client.SetReadDeadline(time.Time{})
+	done := make(chan struct{})
+	var events [][]byte
+	go func() {
+		defer close(done)
+		events, _ = readAllFrames(client)
+	}()
+	ev := []byte("degraded but delivered")
+	if err := b.Publish("md", ev); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	<-done
+	if len(events) != 1 || !bytes.Equal(events[0], ev) {
+		t.Fatalf("got %d events, want the published one intact", len(events))
+	}
+	if n := b.Metrics().Counter("broker.placement_degraded").Value(); n != 1 {
+		t.Fatalf("placement_degraded = %d, want 1", n)
+	}
+}
+
+// TestPlacementResumeCarriesPlacement resumes with an advertised receiver
+// placement: the replay backlog and the live stream must both arrive raw.
+func TestPlacementResumeCarriesPlacement(t *testing.T) {
+	b := newTestBroker(t, func(c *Config) { c.ReplayBlocks = 64 })
+	var want [][]byte
+	for i := 0; i < 4; i++ {
+		ev := bytes.Repeat([]byte{byte('r' + i)}, 2048)
+		want = append(want, ev)
+		if err := b.Publish("md", ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client, server := net.Pipe()
+	b.HandleConn(server)
+	t.Cleanup(func() { client.Close() })
+	firstSeq, err := HandshakeResumePlacement(client, "md", 0, selector.PlacementReceiver)
+	if err != nil {
+		t.Fatalf("resume handshake: %v", err)
+	}
+	if firstSeq != 1 {
+		t.Fatalf("firstSeq = %d, want 1", firstSeq)
+	}
+	done := make(chan struct{})
+	var events [][]byte
+	var methods []codec.Method
+	go func() {
+		defer close(done)
+		events, methods = readAllFrames(client)
+	}()
+	live := bytes.Repeat([]byte("live"), 512)
+	want = append(want, live)
+	if err := b.Publish("md", live); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	<-done
+	if len(events) != len(want) {
+		t.Fatalf("%d events, want %d", len(events), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(events[i], want[i]) {
+			t.Fatalf("event %d differs", i)
+		}
+		if methods[i] != codec.None {
+			t.Fatalf("event %d shipped as %s, want None", i, methods[i])
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+
+	"ccx/internal/selector"
 )
 
 // Wire protocol.
@@ -16,10 +18,17 @@ import (
 //	role(1)              'P' = publish, 'S' = subscribe, 'R' = resume
 //	channelLen(uvarint) channelName
 //	[lastSeq(uvarint)]   role 'R' only: last contiguously delivered seq
+//	[placement(1)]       version 3 only: 'P'/'B'/'R'/'A'
 //
 // Version 1 handshakes carry roles 'P' and 'S'; version 2 adds role 'R'
 // (resume), a subscription that also presents the last sequence number the
-// client delivered contiguously. The broker accepts both versions forever.
+// client delivered contiguously. Version 3 appends one compression-placement
+// byte to every role: where this peer wants compression to run (publisher,
+// broker, receiver, or auto — see selector.Placement). An unknown placement
+// byte degrades to publisher-side compression rather than refusing the
+// session, so newer clients always get a working (if inline-compressed)
+// stream from older-configured brokers. The broker accepts all versions
+// forever.
 //
 // The broker answers with a single status byte: 0 accepts the session, any
 // other value is followed by uvarint-length error text and a close. For an
@@ -49,6 +58,9 @@ const (
 	// ProtocolVersionResume is the handshake version that introduces the
 	// resume role.
 	ProtocolVersionResume = 2
+	// ProtocolVersionPlacement is the handshake version that appends a
+	// trailing compression-placement byte to every role.
+	ProtocolVersionPlacement = 3
 	// RolePublish and RoleSubscribe are the handshake role bytes; RoleResume
 	// is a subscribe that presents resume state (version 2 handshakes only).
 	RolePublish   = 'P'
@@ -75,7 +87,7 @@ var (
 // conn. On return the caller owns a frame stream to the broker: every
 // internal/codec frame written becomes one event on the named channel.
 func HandshakePublish(conn net.Conn, channel string) error {
-	_, err := clientHandshake(conn, RolePublish, channel, 0)
+	_, err := clientHandshake(conn, RolePublish, channel, 0, 0, false)
 	return err
 }
 
@@ -83,7 +95,7 @@ func HandshakePublish(conn net.Conn, channel string) error {
 // conn. On return the broker streams internal/codec frames, one event per
 // frame; zero-length frames are heartbeats to be skipped.
 func HandshakeSubscribe(conn net.Conn, channel string) error {
-	_, err := clientHandshake(conn, RoleSubscribe, channel, 0)
+	_, err := clientHandshake(conn, RoleSubscribe, channel, 0, 0, false)
 	return err
 }
 
@@ -95,25 +107,60 @@ func HandshakeSubscribe(conn net.Conn, channel string) error {
 // blocks are irrecoverably gone — the caller should surface that gap, not
 // hide it.
 func HandshakeResume(conn net.Conn, channel string, lastSeq uint64) (firstSeq uint64, err error) {
-	return clientHandshake(conn, RoleResume, channel, lastSeq)
+	return clientHandshake(conn, RoleResume, channel, lastSeq, 0, false)
 }
 
-func clientHandshake(conn net.Conn, role byte, channel string, lastSeq uint64) (uint64, error) {
+// HandshakePublishPlacement is HandshakePublish with an advertised
+// compression placement (version-3 handshake): where this publisher wants
+// compression to run for the channel's consumers. The advert is
+// informational for the broker's accounting — the publisher enforces its
+// own half by shipping raw frames when placement offloads downstream.
+func HandshakePublishPlacement(conn net.Conn, channel string, pl selector.Placement) error {
+	_, err := clientHandshake(conn, RolePublish, channel, 0, pl, true)
+	return err
+}
+
+// HandshakeSubscribePlacement is HandshakeSubscribe with an advertised
+// compression placement: the subscriber's placement overrides the broker's
+// configured default for this session. Brokers that predate placement
+// refuse version-3 handshakes; callers that must interoperate should retry
+// with HandshakeSubscribe.
+func HandshakeSubscribePlacement(conn net.Conn, channel string, pl selector.Placement) error {
+	_, err := clientHandshake(conn, RoleSubscribe, channel, 0, pl, true)
+	return err
+}
+
+// HandshakeResumePlacement is HandshakeResume with an advertised
+// compression placement.
+func HandshakeResumePlacement(conn net.Conn, channel string, lastSeq uint64, pl selector.Placement) (firstSeq uint64, err error) {
+	return clientHandshake(conn, RoleResume, channel, lastSeq, pl, true)
+}
+
+func clientHandshake(conn net.Conn, role byte, channel string, lastSeq uint64, pl selector.Placement, advertise bool) (uint64, error) {
 	if channel == "" || len(channel) > MaxChannelName {
 		return 0, fmt.Errorf("%w: channel name length %d out of [1,%d]",
 			ErrBadHandshake, len(channel), MaxChannelName)
+	}
+	if advertise && !pl.Valid() {
+		return 0, fmt.Errorf("%w: invalid placement %s", ErrBadHandshake, pl)
 	}
 	version := byte(ProtocolVersion)
 	if role == RoleResume {
 		version = ProtocolVersionResume
 	}
-	msg := make([]byte, 0, 15+len(channel))
+	if advertise {
+		version = ProtocolVersionPlacement
+	}
+	msg := make([]byte, 0, 16+len(channel))
 	msg = append(msg, handshakeMagic[:]...)
 	msg = append(msg, version, role)
 	msg = binary.AppendUvarint(msg, uint64(len(channel)))
 	msg = append(msg, channel...)
 	if role == RoleResume {
 		msg = binary.AppendUvarint(msg, lastSeq)
+	}
+	if advertise {
+		msg = append(msg, pl.WireByte())
 	}
 	if _, err := conn.Write(msg); err != nil {
 		return 0, fmt.Errorf("broker: handshake write: %w", err)
@@ -146,6 +193,13 @@ type handshake struct {
 	// lastSeq is the resume point presented by a RoleResume client: the last
 	// sequence number it delivered contiguously (0 = none).
 	lastSeq uint64
+	// hasPlacement marks a version-3 hello; placement is then the peer's
+	// advertised compression placement, already degraded to publisher when
+	// the wire byte was unknown (placementDegraded reports that, so the
+	// broker can count it).
+	hasPlacement      bool
+	placement         selector.Placement
+	placementDegraded bool
 }
 
 // readHandshake parses the server half. It reads byte-at-a-time so no
@@ -160,7 +214,8 @@ func readHandshake(r io.Reader) (handshake, error) {
 		return hs, fmt.Errorf("%w: bad magic", ErrBadHandshake)
 	}
 	version := fixed[3]
-	if version != ProtocolVersion && version != ProtocolVersionResume {
+	if version != ProtocolVersion && version != ProtocolVersionResume &&
+		version != ProtocolVersionPlacement {
 		return hs, fmt.Errorf("%w: unsupported version %d", ErrBadHandshake, version)
 	}
 	hs.role = fixed[4]
@@ -188,6 +243,16 @@ func readHandshake(r io.Reader) (handshake, error) {
 			return hs, fmt.Errorf("%w: resume seq: %v", ErrBadHandshake, err)
 		}
 		hs.lastSeq = lastSeq
+	}
+	if version >= ProtocolVersionPlacement {
+		var one [1]byte
+		if _, err := io.ReadFull(r, one[:]); err != nil {
+			return hs, fmt.Errorf("%w: placement: %v", ErrBadHandshake, err)
+		}
+		hs.hasPlacement = true
+		pl, known := selector.PlacementFromWire(one[0])
+		hs.placement = pl
+		hs.placementDegraded = !known
 	}
 	return hs, nil
 }

@@ -47,6 +47,12 @@ type Config struct {
 	// Policy overrides the decision policy (nil = the paper's published
 	// ratio algorithm over Selector's thresholds).
 	Policy selector.Policy
+	// Placement decides where compression runs relative to this engine's
+	// hop. The zero value pins publisher-side (inline) compression —
+	// exactly the pre-placement behavior. When the placement decision
+	// offloads a block downstream, the engine bypasses Policy and ships
+	// the block raw (Method None, Decision.Offloaded set).
+	Placement selector.PlacementPolicy
 	// Now supplies timestamps for probe and compression timing; nil means
 	// time.Now. Experiments inject virtual clocks for determinism.
 	Now func() time.Time
@@ -68,6 +74,7 @@ type Config struct {
 type Engine struct {
 	sel    selector.Config
 	policy selector.Policy
+	plc    selector.PlacementPolicy
 	reg    *codec.Registry
 	mon    *bwmon.Monitor
 	smp    *sampling.Sampler
@@ -105,9 +112,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("core: negative worker count %d", cfg.Workers)
 	}
+	if err := cfg.Placement.Validate(); err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		sel:    sel,
 		policy: policy,
+		plc:    cfg.Placement,
 		reg:    reg,
 		mon:    bwmon.New(cfg.Alpha),
 		smp: &sampling.Sampler{
@@ -179,6 +190,11 @@ func (e *Engine) Decide(block []byte) selector.Decision {
 // bytes, so the shared encode plane computes it once and amortizes it across
 // every subscriber of a channel; SendTime still comes from this engine's own
 // goodput monitor, keeping the paper's per-path decision intact.
+//
+// Placement runs first: when the policy offloads the block downstream,
+// this hop ships it raw (Method None) and the method selector never runs —
+// the downstream hop, seeing its own placement decision, compresses (or
+// doesn't) with its own measurements.
 func (e *Engine) DecideProbed(blockLen int, probe sampling.ProbeResult) selector.Decision {
 	in := selector.Inputs{
 		BlockLen:      blockLen,
@@ -188,8 +204,23 @@ func (e *Engine) DecideProbed(blockLen int, probe sampling.ProbeResult) selector
 		Entropy:       probe.Entropy,
 		Repetition:    probe.Repetition,
 	}
-	return e.policy.Select(in)
+	pl := e.plc.Decide(in)
+	if !e.plc.Encodes(pl) {
+		return selector.Decision{
+			Method:       codec.None,
+			Inputs:       in,
+			LZReduceTime: in.LZReduceTime(),
+			Placement:    pl,
+			Offloaded:    true,
+		}
+	}
+	d := e.policy.Select(in)
+	d.Placement = pl
+	return d
 }
+
+// Placement returns the engine's placement policy.
+func (e *Engine) Placement() selector.PlacementPolicy { return e.plc }
 
 // BlockResult records one transmitted block for the experiment plots
 // (Figures 8-12 all read these fields).

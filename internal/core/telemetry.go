@@ -6,6 +6,7 @@ import (
 	"ccx/internal/codec"
 	"ccx/internal/metrics"
 	"ccx/internal/obs"
+	"ccx/internal/selector"
 )
 
 // Telemetry wires an adaptation loop into the observability plane. Both
@@ -39,6 +40,8 @@ type txInstruments struct {
 	pipeWait  *metrics.Histogram      // ccx.pipeline_wait_seconds
 	ratio     [256]*metrics.Histogram // ccx.ratio.<method>
 	methods   [256]*metrics.Counter   // ccx.tx_method.<method>
+
+	placements [selector.NumPlacements]*metrics.Counter // ccx.tx_placement.<name>
 }
 
 // newTxInstruments resolves the send-side metric set against reg. The
@@ -59,6 +62,9 @@ func newTxInstruments(reg *metrics.Registry, codecs *codec.Registry) *txInstrume
 	for _, m := range codecs.Methods() {
 		ins.ratio[m] = reg.Histogram(fmt.Sprintf("ccx.ratio.%s", m), metrics.RatioBuckets)
 		ins.methods[m] = reg.Counter(fmt.Sprintf("ccx.tx_method.%s", m))
+	}
+	for p := selector.Placement(0); p < selector.NumPlacements; p++ {
+		ins.placements[p] = reg.Counter(fmt.Sprintf("ccx.tx_placement.%s", p))
 	}
 	return ins
 }
@@ -94,6 +100,9 @@ func (e *Engine) ObserveBlock(res BlockResult) {
 		if c := ins.methods[res.Info.Method]; c != nil {
 			c.Inc()
 		}
+		if pl := res.Decision.Placement; pl.Valid() {
+			ins.placements[pl].Inc()
+		}
 	}
 	if e.tel.Trace != nil {
 		in := res.Decision.Inputs
@@ -109,6 +118,7 @@ func (e *Engine) ObserveBlock(res BlockResult) {
 			PredSendNs:   int64(in.SendTime),
 			PredReduceNs: int64(res.Decision.LZReduceTime),
 			Method:       res.Info.Method.String(),
+			Placement:    res.Decision.Placement.String(),
 			Reason:       res.Decision.Reason(),
 			WireBytes:    res.WireBytes,
 			Ratio:        res.Info.Ratio(),

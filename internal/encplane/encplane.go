@@ -42,6 +42,7 @@ import (
 	"ccx/internal/metrics"
 	"ccx/internal/obs"
 	"ccx/internal/sampling"
+	"ccx/internal/selector"
 )
 
 // DefaultCacheBytes bounds each channel's encoded-frame cache when the
@@ -87,6 +88,10 @@ type Plane struct {
 	encodes    *metrics.Counter
 	encBytes   *metrics.Counter
 	deliveries *metrics.Counter
+	// placementDel breaks deliveries down by the receiving member's
+	// compression placement (encplane.placement.<name>) — the ccstat "plc"
+	// column and ccswarm's per-placement report read these.
+	placementDel [selector.NumPlacements]*metrics.Counter
 	hits       *metrics.Counter
 	misses     *metrics.Counter
 	evictions  *metrics.Counter
@@ -149,6 +154,9 @@ func New(cfg Config) (*Plane, error) {
 
 		chans: make(map[string]*Channel),
 	}
+	for pl := selector.Placement(0); pl < selector.NumPlacements; pl++ {
+		p.placementDel[pl] = met.Counter(fmt.Sprintf("encplane.placement.%s", pl))
+	}
 	p.bufs.New = func() any { return new([]byte) }
 	return p, nil
 }
@@ -169,7 +177,7 @@ func (p *Plane) Channel(name string) *Channel {
 		p:            p,
 		name:         name,
 		members:      make(map[*Member]struct{}),
-		classCount:   make(map[codec.Method]int),
+		classCount:   make(map[classKey]int),
 		classesGauge: p.met.Gauge(fmt.Sprintf("chan.%s.classes", name)),
 		queuedBytes:  p.met.Gauge(fmt.Sprintf("chan.%s.queued_bytes", name)),
 		queuedHWM:    p.met.Gauge(fmt.Sprintf("chan.%s.queued_bytes_hwm", name)),
@@ -226,7 +234,7 @@ type Channel struct {
 	// against joins, leaves, or migrations.
 	mu         sync.Mutex
 	members    map[*Member]struct{}
-	classCount map[codec.Method]int // members per method; len = live classes
+	classCount map[classKey]int // members per (method, placement); len = live classes
 	cache      frameCache
 	probes     probeCache
 
@@ -252,11 +260,30 @@ type Channel struct {
 	queuedHWM    *metrics.Gauge // chan.<name>.queued_bytes_hwm
 }
 
+// classKey identifies one equivalence class: members that currently share
+// both a compression method and a placement. Frames depend only on the
+// method — a receiver-placement member and a broker-placement member both
+// sitting at None share the same encoded bytes — so encode jobs are still
+// grouped per method (one encode per distinct method per block), while the
+// class structure, the chan.<name>.classes gauge, and delivery accounting
+// are placement-aware.
+type classKey struct {
+	method    codec.Method
+	placement selector.Placement
+}
+
+// jobMember snapshots one member and its placement at publish time, so
+// fan-out accounting never races later migrations.
+type jobMember struct {
+	mb        *Member
+	placement selector.Placement
+}
+
 // pendingJob carries one (block, method) encode's fan-out context.
 type pendingJob struct {
 	seq     uint64
 	method  codec.Method
-	members []*Member
+	members []jobMember
 	data    []byte
 	probe   sampling.ProbeResult
 	at      time.Time
@@ -318,21 +345,28 @@ type DeliverFunc func(Delivery) bool
 
 // Member is one subscriber's membership in a channel's class structure.
 type Member struct {
-	ch      *Channel
-	deliver DeliverFunc
-	method  codec.Method // guarded by ch.mu
-	left    bool         // guarded by ch.mu
+	ch        *Channel
+	deliver   DeliverFunc
+	method    codec.Method       // guarded by ch.mu
+	placement selector.Placement // guarded by ch.mu
+	left      bool               // guarded by ch.mu
 }
 
 // Join adds a member with an initial method (the paper's first-block
-// convention is None). Publishes after Join include the member; blocks
-// already in flight do not — they predate the join and, when the caller is
-// resuming, are covered by the replay window instead.
+// convention is None) in the publisher-placement class — the pre-placement
+// behavior. Publishes after Join include the member; blocks already in
+// flight do not — they predate the join and, when the caller is resuming,
+// are covered by the replay window instead.
 func (c *Channel) Join(m codec.Method, deliver DeliverFunc) *Member {
-	mb := &Member{ch: c, deliver: deliver, method: m}
+	return c.JoinPlaced(m, selector.PlacementPublisher, deliver)
+}
+
+// JoinPlaced is Join with an explicit initial placement class.
+func (c *Channel) JoinPlaced(m codec.Method, pl selector.Placement, deliver DeliverFunc) *Member {
+	mb := &Member{ch: c, deliver: deliver, method: m, placement: pl}
 	c.mu.Lock()
 	c.members[mb] = struct{}{}
-	c.classDelta(m, +1)
+	c.classDelta(classKey{m, pl}, +1)
 	c.mu.Unlock()
 	return mb
 }
@@ -344,21 +378,39 @@ func (m *Member) Method() codec.Method {
 	return m.method
 }
 
-// Migrate moves the member to a new method class. The move is atomic with
-// respect to publishes: each publish snapshots membership once, so a
-// migrating member lands in exactly one class per block — no block is
-// duplicated or dropped across the migration.
+// Placement returns the member's current class placement.
+func (m *Member) Placement() selector.Placement {
+	m.ch.mu.Lock()
+	defer m.ch.mu.Unlock()
+	return m.placement
+}
+
+// Migrate moves the member to a new method class, keeping its placement.
+// The move is atomic with respect to publishes: each publish snapshots
+// membership once, so a migrating member lands in exactly one class per
+// block — no block is duplicated or dropped across the migration.
 func (m *Member) Migrate(to codec.Method) {
 	c := m.ch
 	c.mu.Lock()
-	if m.left || m.method == to {
+	pl := m.placement
+	c.mu.Unlock()
+	m.MigratePlaced(to, pl)
+}
+
+// MigratePlaced moves the member to the (method, placement) class, with the
+// same atomicity as Migrate.
+func (m *Member) MigratePlaced(to codec.Method, pl selector.Placement) {
+	c := m.ch
+	c.mu.Lock()
+	if m.left || (m.method == to && m.placement == pl) {
 		c.mu.Unlock()
 		return
 	}
-	from := m.method
+	from := classKey{m.method, m.placement}
 	m.method = to
+	m.placement = pl
 	c.classDelta(from, -1)
-	c.classDelta(to, +1)
+	c.classDelta(classKey{to, pl}, +1)
 	c.mu.Unlock()
 	c.p.migrations.Inc()
 }
@@ -376,20 +428,20 @@ func (m *Member) Leave() {
 	}
 	m.left = true
 	delete(c.members, m)
-	c.classDelta(m.method, -1)
+	c.classDelta(classKey{m.method, m.placement}, -1)
 	c.mu.Unlock()
 }
 
-// classDelta maintains the per-method membership count and the
+// classDelta maintains the per-class membership count and the
 // chan.<name>.classes gauge incrementally — O(1) per join, migration, and
 // leave, so a 10k-subscriber migration storm never rescans membership.
 // Caller holds c.mu.
-func (c *Channel) classDelta(m codec.Method, d int) {
-	n := c.classCount[m] + d
+func (c *Channel) classDelta(k classKey, d int) {
+	n := c.classCount[k] + d
 	if n <= 0 {
-		delete(c.classCount, m)
+		delete(c.classCount, k)
 	} else {
-		c.classCount[m] = n
+		c.classCount[k] = n
 	}
 	c.classesGauge.Set(int64(len(c.classCount)))
 }
@@ -400,15 +452,19 @@ func (c *Channel) classDelta(m codec.Method, d int) {
 // sequencer. The caller serializes Publish per channel (the broker holds
 // its channel-state lock), which satisfies the pipeline's single-owner
 // submit contract.
+//
+// Jobs group by method, not by full (method, placement) class: classes
+// that differ only in placement produce byte-identical frames, so they
+// share one encode and are told apart only in delivery accounting.
 func (c *Channel) Publish(data []byte, seq uint64) {
 	c.mu.Lock()
 	if len(c.members) == 0 {
 		c.mu.Unlock()
 		return
 	}
-	classes := make(map[codec.Method][]*Member, 4)
+	classes := make(map[codec.Method][]jobMember, 4)
 	for m := range c.members {
-		classes[m.method] = append(classes[m.method], m)
+		classes[m.method] = append(classes[m.method], jobMember{m, m.placement})
 	}
 	c.mu.Unlock()
 
@@ -443,21 +499,29 @@ func (c *Channel) fanOut(f *Frame, job pendingJob, r core.BlockResult) {
 	c.p.encLat.ObserveDuration(r.CompressTime)
 
 	delivered := 0
-	for _, mb := range job.members {
+	var byPlacement [selector.NumPlacements]int64
+	for _, jm := range job.members {
 		f.Retain()
-		if mb.deliver(Delivery{Frame: f, Data: job.data, Probe: job.probe, At: job.at}) {
+		if jm.mb.deliver(Delivery{Frame: f, Data: job.data, Probe: job.probe, At: job.at}) {
 			delivered++
+			byPlacement[jm.placement]++
 		} else {
 			f.Release()
 		}
 	}
 	c.p.deliveries.Add(int64(delivered))
+	for pl, n := range byPlacement {
+		if n > 0 {
+			c.p.placementDel[pl].Add(n)
+		}
+	}
 	if c.p.trace != nil {
 		c.p.trace.Add(obs.Record{
 			Stream:    "encplane",
 			Block:     int(job.seq),
 			BlockLen:  len(job.data),
 			Method:    f.info.Method.String(),
+			Placement: placementSpread(byPlacement),
 			Reason:    fmt.Sprintf("encoded once for %d subscriber(s)", len(job.members)),
 			WireBytes: f.Len(),
 			Ratio:     f.info.Ratio(),
@@ -530,6 +594,26 @@ func (c *Channel) ProbeFor(data []byte, seq uint64) sampling.ProbeResult {
 	c.probes.put(seq, p)
 	c.mu.Unlock()
 	return p
+}
+
+// placementSpread labels one fan-out's placement mix for trace records: the
+// single placement every delivery shared, or "mixed" when one encode served
+// classes of more than one placement.
+func placementSpread(byPlacement [selector.NumPlacements]int64) string {
+	sole := -1
+	for pl, n := range byPlacement {
+		if n == 0 {
+			continue
+		}
+		if sole >= 0 {
+			return "mixed"
+		}
+		sole = pl
+	}
+	if sole < 0 {
+		return ""
+	}
+	return selector.Placement(sole).String()
 }
 
 // putCache hands the caller's frame reference to the cache (or straight

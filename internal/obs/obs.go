@@ -51,9 +51,12 @@ type Record struct {
 	PredSendNs   int64   `json:"pred_send_ns"`
 	PredReduceNs int64   `json:"pred_reduce_ns"`
 
-	// Choice and reasoning.
-	Method string `json:"method"`
-	Reason string `json:"reason,omitempty"`
+	// Choice and reasoning. Placement says where the block's compression
+	// ran ("publisher", "broker", "receiver") — empty on records from loops
+	// that predate the placement dimension (receive side, encode plane).
+	Method    string `json:"method"`
+	Placement string `json:"placement,omitempty"`
+	Reason    string `json:"reason,omitempty"`
 
 	// Realized outcome. WireBytes is the full frame size; Ratio is
 	// compressed/original payload; EncodeNs and SendNs are the measured

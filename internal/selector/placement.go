@@ -1,0 +1,212 @@
+package selector
+
+import (
+	"fmt"
+	"time"
+)
+
+// Placement says where a block's compression runs on its way from publisher
+// to receiver. The paper's §2.5 algorithm decides *how* to compress;
+// placement extends the decision space with *where*, following the
+// DTSchedule observation that offloading compression downstream wins by
+// large factors whenever the network outruns the codec, and only loses once
+// the network is orders of magnitude slower.
+//
+// The zero value is PlacementPublisher — compress at the source, exactly
+// today's behavior — so existing configurations are unchanged.
+type Placement uint8
+
+const (
+	// PlacementPublisher compresses at the source: the publisher's engine
+	// selects a method and ships encoded frames (the pre-placement behavior,
+	// and the zero value).
+	PlacementPublisher Placement = iota
+	// PlacementBroker ships raw (Method None) frames from the publisher and
+	// lets the broker's shared encode plane compress once per subscriber
+	// equivalence class.
+	PlacementBroker
+	// PlacementReceiver ships raw frames end to end: on links faster than
+	// the codec, any compression step only adds latency, and receiver-side
+	// re-compression of delivered bytes is a no-op.
+	PlacementReceiver
+	// PlacementAuto decides per block from the measured goodput /
+	// reducing-speed balance: offload downstream while the link outruns the
+	// codec, fall back to inline compression once it no longer does.
+	PlacementAuto
+
+	// NumPlacements sizes per-placement counter arrays.
+	NumPlacements = 4
+)
+
+// String renders the placement's flag spelling.
+func (p Placement) String() string {
+	switch p {
+	case PlacementPublisher:
+		return "publisher"
+	case PlacementBroker:
+		return "broker"
+	case PlacementReceiver:
+		return "receiver"
+	case PlacementAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("placement(%d)", uint8(p))
+}
+
+// Valid reports whether p is one of the defined placements.
+func (p Placement) Valid() bool { return p < NumPlacements }
+
+// ParsePlacement reads a -placement flag value.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "publisher":
+		return PlacementPublisher, nil
+	case "broker":
+		return PlacementBroker, nil
+	case "receiver":
+		return PlacementReceiver, nil
+	case "auto":
+		return PlacementAuto, nil
+	}
+	return 0, fmt.Errorf("selector: unknown placement %q (want auto, publisher, broker, or receiver)", s)
+}
+
+// Wire bytes for the broker handshake's placement field. Unknown bytes
+// degrade to publisher rather than erroring, so a newer client advertising a
+// placement this broker has never heard of still gets a working (inline)
+// session.
+const (
+	WirePlacementPublisher = byte('P')
+	WirePlacementBroker    = byte('B')
+	WirePlacementReceiver  = byte('R')
+	WirePlacementAuto      = byte('A')
+)
+
+// WireByte returns the handshake byte for p.
+func (p Placement) WireByte() byte {
+	switch p {
+	case PlacementBroker:
+		return WirePlacementBroker
+	case PlacementReceiver:
+		return WirePlacementReceiver
+	case PlacementAuto:
+		return WirePlacementAuto
+	}
+	return WirePlacementPublisher
+}
+
+// PlacementFromWire maps a handshake byte back to a Placement. Unknown
+// bytes report ok=false and the publisher fallback.
+func PlacementFromWire(b byte) (p Placement, ok bool) {
+	switch b {
+	case WirePlacementPublisher:
+		return PlacementPublisher, true
+	case WirePlacementBroker:
+		return PlacementBroker, true
+	case WirePlacementReceiver:
+		return PlacementReceiver, true
+	case WirePlacementAuto:
+		return PlacementAuto, true
+	}
+	return PlacementPublisher, false
+}
+
+// DefaultOffloadFactor is the auto-placement break-even threshold: offload
+// while the predicted raw send time is below this multiple of the predicted
+// Lempel-Ziv reduction time — i.e. while the network moves the block faster
+// than the codec can shrink it.
+const DefaultOffloadFactor = 1.0
+
+// PlacementPolicy decides where a block's compression runs. It is evaluated
+// by a specific node (the publisher's engine or one of the broker's
+// per-subscriber loops), so the same Mode means different local actions at
+// different hops: a publisher offloading to the broker ships raw, while the
+// broker hop still encodes for that placement.
+type PlacementPolicy struct {
+	// Mode pins the placement, or lets PlacementAuto decide per block from
+	// measurements. The zero value pins publisher-side compression.
+	Mode Placement
+	// Node is the hop evaluating the policy: PlacementPublisher (the
+	// default) for source engines, PlacementBroker for the broker's
+	// per-subscriber selection loops. It is also the placement Auto reports
+	// when compressing inline.
+	Node Placement
+	// OffloadFactor tunes Auto's break-even (0 = DefaultOffloadFactor):
+	// offload while predicted send time < OffloadFactor × predicted reduce
+	// time.
+	OffloadFactor float64
+	// Brokered tells a publisher-node policy that a broker sits downstream,
+	// making PlacementBroker the natural Auto offload target (the broker's
+	// own per-path policies may push further to the receiver). Without it
+	// Auto offloads straight to the receiver.
+	Brokered bool
+}
+
+// Validate reports configuration errors.
+func (p PlacementPolicy) Validate() error {
+	if !p.Mode.Valid() {
+		return fmt.Errorf("selector: invalid placement mode %s", p.Mode)
+	}
+	if p.Node != PlacementPublisher && p.Node != PlacementBroker {
+		return fmt.Errorf("selector: placement node must be publisher or broker, got %s", p.Node)
+	}
+	if p.OffloadFactor < 0 {
+		return fmt.Errorf("selector: negative offload factor %v", p.OffloadFactor)
+	}
+	return nil
+}
+
+// Decide picks the block's placement. Pinned modes return Mode unchanged.
+// Auto mirrors the paper's first-block convention — with no goodput
+// measurement yet (or an incompressible probe) it stays inline, since the
+// method selector will ship raw anyway — and otherwise offloads exactly
+// while the link outruns the codec: predicted raw send time below
+// OffloadFactor × predicted reduce time.
+func (p PlacementPolicy) Decide(in Inputs) Placement {
+	if p.Mode != PlacementAuto {
+		return p.Mode
+	}
+	inline := p.Node
+	if in.SendTime <= 0 || in.BlockLen == 0 {
+		return inline
+	}
+	reduce := in.LZReduceTime()
+	if reduce <= 0 {
+		return inline // incompressible: nothing to offload
+	}
+	factor := p.OffloadFactor
+	if factor == 0 {
+		factor = DefaultOffloadFactor
+	}
+	if float64(in.SendTime) < factor*float64(reduce) {
+		// The wire moves raw bytes faster than the codec shrinks them: ship
+		// raw and let a downstream hop (or nobody) compress.
+		if p.Node == PlacementPublisher && p.Brokered {
+			return PlacementBroker
+		}
+		return PlacementReceiver
+	}
+	return inline
+}
+
+// Encodes reports whether this node compresses blocks under placement pl.
+// The publisher hop encodes only for publisher placement; the broker hop
+// encodes for publisher placement too (re-encoding per subscriber class is
+// how the broker realizes per-path selection) and for broker placement, but
+// never for receiver placement, which ships raw end to end.
+func (p PlacementPolicy) Encodes(pl Placement) bool {
+	switch p.Node {
+	case PlacementBroker:
+		return pl == PlacementPublisher || pl == PlacementBroker
+	default:
+		return pl == PlacementPublisher
+	}
+}
+
+// offloadRatio is Reason's send/reduce figure, guarded for display.
+func offloadRatio(in Inputs, reduce time.Duration) (float64, bool) {
+	if in.SendTime <= 0 || reduce <= 0 {
+		return 0, false
+	}
+	return float64(in.SendTime) / float64(reduce), true
+}

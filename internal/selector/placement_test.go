@@ -1,0 +1,176 @@
+package selector
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ccx/internal/codec"
+)
+
+func TestPlacementParseString(t *testing.T) {
+	for _, p := range []Placement{PlacementPublisher, PlacementBroker, PlacementReceiver, PlacementAuto} {
+		got, err := ParsePlacement(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePlacement(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+		if !p.Valid() {
+			t.Errorf("%v.Valid() = false", p)
+		}
+	}
+	if _, err := ParsePlacement("consumer"); err == nil {
+		t.Error("ParsePlacement accepted an unknown spelling")
+	}
+	if Placement(200).Valid() {
+		t.Error("Placement(200).Valid() = true")
+	}
+}
+
+func TestPlacementZeroValueIsPublisher(t *testing.T) {
+	// Every existing Config zero value must keep today's inline behavior.
+	var p Placement
+	if p != PlacementPublisher {
+		t.Fatalf("zero Placement = %v, want publisher", p)
+	}
+	var pol PlacementPolicy
+	in := Inputs{BlockLen: 1 << 17, SendTime: time.Second, ProbeRatio: 0.3, ReducingSpeed: 1e6}
+	if got := pol.Decide(in); got != PlacementPublisher {
+		t.Fatalf("zero policy Decide = %v, want publisher", got)
+	}
+	if !pol.Encodes(PlacementPublisher) {
+		t.Fatal("zero policy must encode inline for publisher placement")
+	}
+}
+
+func TestPlacementWireRoundtrip(t *testing.T) {
+	for _, p := range []Placement{PlacementPublisher, PlacementBroker, PlacementReceiver, PlacementAuto} {
+		got, ok := PlacementFromWire(p.WireByte())
+		if !ok || got != p {
+			t.Errorf("PlacementFromWire(%q) = %v, %v; want %v", p.WireByte(), got, ok, p)
+		}
+	}
+	// Unknown wire bytes degrade to publisher, never error.
+	for _, b := range []byte{0, 'x', 'Z', 0xFF} {
+		got, ok := PlacementFromWire(b)
+		if ok || got != PlacementPublisher {
+			t.Errorf("PlacementFromWire(%#x) = %v, %v; want publisher, false", b, got, ok)
+		}
+	}
+}
+
+// offloadInputs describes a block whose predicted raw send is fast relative
+// to the codec's predicted reduce time (send/reduce = 0.5): the network
+// outruns the codec, so Auto should offload.
+func offloadInputs() Inputs {
+	// reduce = BlockLen*(1-ratio)/speed = 131072*0.5/1e6 s ≈ 65.5 ms;
+	// send 32 ms ≈ 0.5× reduce.
+	return Inputs{
+		BlockLen:      128 << 10,
+		SendTime:      32 * time.Millisecond,
+		ProbeRatio:    0.5,
+		ReducingSpeed: 1e6,
+	}
+}
+
+func TestPlacementAutoDecide(t *testing.T) {
+	fast := offloadInputs()
+	slow := fast
+	slow.SendTime = time.Second // send/reduce ≈ 15: codec outruns network
+
+	cases := []struct {
+		name string
+		pol  PlacementPolicy
+		in   Inputs
+		want Placement
+	}{
+		{"publisher node offloads to receiver", PlacementPolicy{Mode: PlacementAuto}, fast, PlacementReceiver},
+		{"brokered publisher offloads to broker", PlacementPolicy{Mode: PlacementAuto, Brokered: true}, fast, PlacementBroker},
+		{"broker node offloads to receiver", PlacementPolicy{Mode: PlacementAuto, Node: PlacementBroker}, fast, PlacementReceiver},
+		{"slow link stays inline", PlacementPolicy{Mode: PlacementAuto}, slow, PlacementPublisher},
+		{"slow link stays inline at broker", PlacementPolicy{Mode: PlacementAuto, Node: PlacementBroker}, slow, PlacementBroker},
+		{"no measurement stays inline", PlacementPolicy{Mode: PlacementAuto}, Inputs{BlockLen: 4096}, PlacementPublisher},
+		{"incompressible stays inline", PlacementPolicy{Mode: PlacementAuto},
+			Inputs{BlockLen: 4096, SendTime: time.Second, ProbeRatio: 1.0}, PlacementPublisher},
+		{"pinned receiver ignores measurements", PlacementPolicy{Mode: PlacementReceiver}, slow, PlacementReceiver},
+		{"pinned broker ignores measurements", PlacementPolicy{Mode: PlacementBroker}, fast, PlacementBroker},
+	}
+	for _, tc := range cases {
+		if got := tc.pol.Decide(tc.in); got != tc.want {
+			t.Errorf("%s: Decide = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPlacementAutoOffloadFactor(t *testing.T) {
+	in := offloadInputs() // send/reduce ≈ 0.5
+	tight := PlacementPolicy{Mode: PlacementAuto, OffloadFactor: 0.25}
+	if got := tight.Decide(in); got != PlacementPublisher {
+		t.Errorf("factor 0.25 should keep send/reduce 0.5 inline, got %v", got)
+	}
+	loose := PlacementPolicy{Mode: PlacementAuto, OffloadFactor: 4}
+	if got := loose.Decide(in); got != PlacementReceiver {
+		t.Errorf("factor 4 should offload send/reduce 0.5, got %v", got)
+	}
+}
+
+func TestPlacementEncodes(t *testing.T) {
+	pub := PlacementPolicy{Node: PlacementPublisher}
+	brk := PlacementPolicy{Node: PlacementBroker}
+	cases := []struct {
+		pol      PlacementPolicy
+		pl       Placement
+		want     bool
+		nodeName string
+	}{
+		{pub, PlacementPublisher, true, "publisher"},
+		{pub, PlacementBroker, false, "publisher"},
+		{pub, PlacementReceiver, false, "publisher"},
+		{brk, PlacementPublisher, true, "broker"},
+		{brk, PlacementBroker, true, "broker"},
+		{brk, PlacementReceiver, false, "broker"},
+	}
+	for _, tc := range cases {
+		if got := tc.pol.Encodes(tc.pl); got != tc.want {
+			t.Errorf("%s node Encodes(%v) = %v, want %v", tc.nodeName, tc.pl, got, tc.want)
+		}
+	}
+}
+
+func TestPlacementPolicyValidate(t *testing.T) {
+	good := []PlacementPolicy{
+		{},
+		{Mode: PlacementAuto, Node: PlacementBroker, OffloadFactor: 2},
+		{Mode: PlacementReceiver, Node: PlacementPublisher},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", p, err)
+		}
+	}
+	bad := []PlacementPolicy{
+		{Mode: Placement(9)},
+		{Node: PlacementReceiver},
+		{Node: PlacementAuto},
+		{OffloadFactor: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid policy", p)
+		}
+	}
+}
+
+func TestDecisionReasonOffloaded(t *testing.T) {
+	in := offloadInputs()
+	d := Decision{Method: codec.None, Inputs: in, LZReduceTime: in.LZReduceTime(),
+		Placement: PlacementReceiver, Offloaded: true}
+	r := d.Reason()
+	if !strings.Contains(r, "receiver") || !strings.Contains(r, "ship raw") {
+		t.Errorf("offloaded reason = %q", r)
+	}
+	// Pinned offload before any measurement still explains itself.
+	d2 := Decision{Method: codec.None, Placement: PlacementBroker, Offloaded: true}
+	if r := d2.Reason(); !strings.Contains(r, "broker") {
+		t.Errorf("unmeasured offload reason = %q", r)
+	}
+}

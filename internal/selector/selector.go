@@ -120,6 +120,13 @@ type Decision struct {
 	Method       codec.Method
 	Inputs       Inputs
 	LZReduceTime time.Duration
+	// Placement says where this block's compression runs (the zero value,
+	// publisher, is inline compression at the deciding node).
+	Placement Placement
+	// Offloaded marks a block the deciding node ships raw because a
+	// downstream hop owns compression under Placement; Method is then None
+	// regardless of what the method selector would have chosen.
+	Offloaded bool
 }
 
 // Reason summarizes in one line why the decision came out the way it did,
@@ -128,6 +135,12 @@ type Decision struct {
 // not a parseable format.
 func (d Decision) Reason() string {
 	in := d.Inputs
+	if d.Offloaded {
+		if ratio, ok := offloadRatio(in, d.LZReduceTime); ok {
+			return fmt.Sprintf("placement %s: link outruns codec (send/reduce %.2f): ship raw", d.Placement, ratio)
+		}
+		return fmt.Sprintf("placement %s: compression offloaded downstream: ship raw", d.Placement)
+	}
 	switch {
 	case in.SendTime <= 0 || in.BlockLen == 0:
 		return "no goodput measurement yet: send raw"
