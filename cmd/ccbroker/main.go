@@ -52,6 +52,7 @@ import (
 	"ccx/internal/metrics"
 	"ccx/internal/obs"
 	"ccx/internal/selector"
+	"ccx/internal/tracing"
 )
 
 func main() {
@@ -84,6 +85,8 @@ func run(args []string, stop chan struct{}) error {
 		stats    = fs.Duration("stats", 0, "deprecated alias for -metrics-interval")
 		debug    = fs.String("debug", "", "serve /metrics, /debug/vars, /debug/decisions, and /debug/pprof on this HTTP address (empty disables)")
 		traceLen = fs.Int("trace", obs.DefaultLogSize, "decision-trace ring capacity in records (served at /debug/decisions)")
+		trRate   = fs.Float64("trace-sample", 0, "distributed-trace head-sampling rate for unannotated blocks (0..1); annotated blocks always trace through, as do anomalies")
+		trOut    = fs.String("trace-out", "", "append spans as JSONL to this file (cctrace's input)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		fault    = fs.String("fault", "", `inject faults on every accepted connection for chaos testing, e.g. "flip=65536,seed=7" (see internal/faultnet)`)
 	)
@@ -114,6 +117,16 @@ func run(args []string, stop chan struct{}) error {
 	}
 
 	trace := obs.NewDecisionLog(*traceLen)
+	var tracer *tracing.Tracer
+	if *trRate > 0 || *trOut != "" {
+		tracer = tracing.New("ccbroker", *trRate, 0)
+		if *trOut != "" {
+			if err := tracer.OpenOutput(*trOut); err != nil {
+				return fmt.Errorf("trace output: %w", err)
+			}
+		}
+		defer tracer.Close()
+	}
 	cfg := broker.Config{
 		Channels:     names,
 		QueueLen:     *queueLen,
@@ -127,6 +140,7 @@ func run(args []string, stop chan struct{}) error {
 		WriteTimeout: *wto,
 		Metrics:      metrics.NewRegistry(),
 		Trace:        trace,
+		Tracer:       tracer,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "ccbroker: "+format+"\n", args...)
 		},
@@ -157,7 +171,7 @@ func run(args []string, stop chan struct{}) error {
 	go func() { serveDone <- b.Serve(ln) }()
 
 	if *debug != "" {
-		dbg, err := obs.Serve(*debug, b.Metrics(), trace)
+		dbg, err := obs.Serve(*debug, b.Metrics(), trace, tracer.Ring())
 		if err != nil {
 			return fmt.Errorf("debug server: %w", err)
 		}

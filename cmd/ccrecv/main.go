@@ -50,6 +50,7 @@ import (
 	"ccx/internal/netutil"
 	"ccx/internal/obs"
 	"ccx/internal/selector"
+	"ccx/internal/tracing"
 )
 
 func main() {
@@ -81,6 +82,8 @@ func run(args []string) error {
 		watchdog  = fs.Duration("watchdog", 0, "broker mode: treat a connection that delivers no bytes for this long as dead and reconnect (0 disables)")
 		debug     = fs.String("debug", "", "serve /metrics, /debug/vars, /debug/decisions, and /debug/pprof on this HTTP address (empty disables)")
 		interval  = fs.Duration("metrics-interval", 0, "dump a metrics JSON snapshot to stderr at this interval (0 disables)")
+		traceRate = fs.Float64("trace-sample", 0, "distributed-trace head-sampling rate — receivers trace whatever arrives annotated, so this only gates local anomaly sampling bookkeeping (0 disables nothing here; any trace flag enables the span ring)")
+		traceOut  = fs.String("trace-out", "", "append spans as JSONL to this file (cctrace's input)")
 		verbose   = fs.Bool("v", false, "log every received block")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -128,8 +131,17 @@ func run(args []string) error {
 			Stream:  "recv",
 		}
 	}
+	if *traceRate > 0 || *traceOut != "" {
+		tel.Tracer = tracing.New("ccrecv", *traceRate, 0)
+		if *traceOut != "" {
+			if err := tel.Tracer.OpenOutput(*traceOut); err != nil {
+				return fmt.Errorf("trace output: %w", err)
+			}
+		}
+		defer tel.Tracer.Close()
+	}
 	if *debug != "" {
-		dbg, err := obs.Serve(*debug, tel.Metrics, tel.Trace)
+		dbg, err := obs.Serve(*debug, tel.Metrics, tel.Trace, tel.Tracer.Ring())
 		if err != nil {
 			return fmt.Errorf("debug server: %w", err)
 		}

@@ -34,6 +34,7 @@ import (
 	"ccx/internal/netutil"
 	"ccx/internal/obs"
 	"ccx/internal/selector"
+	"ccx/internal/tracing"
 )
 
 func main() {
@@ -55,6 +56,8 @@ func run(args []string) error {
 		fault     = fs.String("fault", "", `inject faults on the outbound stream for chaos testing, e.g. "flip=65536,seed=7" (see internal/faultnet)`)
 		debug     = fs.String("debug", "", "serve /metrics, /debug/vars, /debug/decisions, and /debug/pprof on this HTTP address (empty disables)")
 		interval  = fs.Duration("metrics-interval", 0, "dump a metrics JSON snapshot to stderr at this interval (0 disables)")
+		traceRate = fs.Float64("trace-sample", 0, "distributed-trace head-sampling rate (0..1; 0 disables, anomalies always trace)")
+		traceOut  = fs.String("trace-out", "", "append sampled spans as JSONL to this file (cctrace's input)")
 		verbose   = fs.Bool("v", false, "log every block's decision")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +94,15 @@ func run(args []string) error {
 			Stream:  "send",
 		}
 	}
+	if *traceRate > 0 || *traceOut != "" {
+		tel.Tracer = tracing.New("ccsend", *traceRate, 0)
+		if *traceOut != "" {
+			if err := tel.Tracer.OpenOutput(*traceOut); err != nil {
+				return fmt.Errorf("trace output: %w", err)
+			}
+		}
+		defer tel.Tracer.Close()
+	}
 	nw := *workers
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
@@ -115,7 +127,7 @@ func run(args []string) error {
 		return err
 	}
 	if *debug != "" {
-		dbg, err := obs.Serve(*debug, tel.Metrics, tel.Trace)
+		dbg, err := obs.Serve(*debug, tel.Metrics, tel.Trace, tel.Tracer.Ring())
 		if err != nil {
 			return fmt.Errorf("debug server: %w", err)
 		}

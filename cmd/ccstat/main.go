@@ -53,14 +53,22 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	// An absolute ticker, not Sleep: Sleep(interval) after each fetch adds
+	// the fetch+render time to every cycle, so lines drift late and the
+	// "per second" rates (divided by the nominal interval) overshoot.
+	// Rates divide by the true elapsed time between fetches instead.
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	prevAt := time.Now()
 	for printed := 0; *count == 0 || printed < *count; printed++ {
-		time.Sleep(*interval)
+		<-ticker.C
 		cur, err := fetchVars(client, url)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, renderLine(time.Now(), prev, cur, *interval))
-		prev = cur
+		now := time.Now()
+		fmt.Fprintln(out, renderLine(now, prev, cur, now.Sub(prevAt)))
+		prev, prevAt = cur, now
 	}
 	return nil
 }
@@ -117,6 +125,11 @@ func renderLine(now time.Time, prev, cur map[string]float64, dt time.Duration) s
 	}
 	if subs, ok := cur["broker.subscribers"]; ok {
 		seg = append(seg, fmt.Sprintf("subs %.0f", subs))
+	}
+	// Runtime health: goroutine count (leak canary), from the obs plane's
+	// built-in runtime sampler.
+	if gor, ok := cur["go.goroutines"]; ok {
+		seg = append(seg, fmt.Sprintf("gor %.0f", gor))
 	}
 	// Shared encode plane: live class count across channels, the interval's
 	// encode-dedup ratio (deliveries per encode — the encode-once payoff),

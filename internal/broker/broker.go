@@ -52,6 +52,7 @@ import (
 	"ccx/internal/obs"
 	"ccx/internal/sampling"
 	"ccx/internal/selector"
+	"ccx/internal/tracing"
 )
 
 // Policy says what to do when a subscriber's outbound queue overflows.
@@ -163,6 +164,12 @@ type Config struct {
 	// (stream "sub.<id>"), served over the -debug plane's
 	// /debug/decisions. nil disables tracing entirely.
 	Trace *obs.DecisionLog
+	// Tracer records this hop's distributed-trace spans: ingest decode,
+	// per-subscriber queue wait and write, and anomaly spans (resume,
+	// migration). Blocks arriving with a trace-context annotation are
+	// traced through; unannotated blocks are head-sampled here, making the
+	// broker a trace origin for in-process publishers. nil disables.
+	Tracer *tracing.Tracer
 	// Logf logs connection lifecycle events (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -236,10 +243,26 @@ func (b *Broker) state(name string) *channelState {
 // encode per method class) and the in-process echo channel. The ring lock
 // is held across both so resume snapshots and subscriber joins interleave
 // atomically with publishes.
-func (b *Broker) submit(st *channelState, data []byte) error {
+//
+// anno is the block's frame annotation as it arrived from the publisher
+// (nil for in-process publishes). An unannotated block may be head-sampled
+// here, making this broker the trace origin.
+func (b *Broker) submit(st *channelState, data, anno []byte) error {
+	if tr := b.cfg.Tracer; len(anno) == 0 && tr.Sample() {
+		tc := tr.NewContext()
+		anno = tc.AppendAnno(nil)
+		tr.Record(tracing.Span{
+			Trace:      tc.Trace,
+			Stream:     st.name,
+			Stage:      tracing.StageStamp,
+			Start:      tc.WallNs,
+			OriginWall: tc.WallNs,
+			Bytes:      len(data),
+		})
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	seq, evBlocks, evBytes := st.ring.stamp(data)
+	seq, evBlocks, evBytes := st.ring.stamp(data, anno)
 	if evBlocks > 0 {
 		b.met.Counter("broker.replay_evicted_blocks").Add(int64(evBlocks))
 		b.met.Counter("broker.replay_evicted_bytes").Add(evBytes)
@@ -247,7 +270,7 @@ func (b *Broker) submit(st *channelState, data []byte) error {
 	st.seqGauge.Set(int64(seq))
 	st.depthBlocks.Set(int64(st.ring.len()))
 	st.depthBytes.Set(st.ring.bytes)
-	st.plane.Publish(data, seq)
+	st.plane.PublishAnno(data, seq, anno)
 	return st.ch.Submit(echo.Event{
 		Data:  data,
 		Attrs: echo.Attributes{core.AttrSeq: strconv.FormatUint(seq, 10)},
@@ -314,6 +337,7 @@ func New(cfg Config) (*Broker, error) {
 		CacheBytes: cfg.CacheBytes,
 		Metrics:    met,
 		Trace:      cfg.Trace,
+		Tracer:     cfg.Tracer,
 		Logf:       logf,
 	})
 	if err != nil {
@@ -381,7 +405,7 @@ func (b *Broker) Publish(channel string, data []byte) error {
 	copy(owned, data)
 	b.met.Counter("broker.events_in").Inc()
 	b.met.Counter("broker.bytes_in").Add(int64(len(owned)))
-	return b.submit(b.state(channel), owned)
+	return b.submit(b.state(channel), owned, nil)
 }
 
 // Serve accepts connections on ln until the broker shuts down. It returns
@@ -567,12 +591,23 @@ func (b *Broker) handlePublisher(conn net.Conn, channel string) {
 	bytesIn := b.met.Counter("broker.bytes_in")
 	corrupt := b.met.Counter("broker.corrupt_frames")
 	for {
-		data, _, err := fr.ReadBlock()
+		data, info, err := fr.ReadBlock()
 		if err != nil {
 			if errors.Is(err, codec.ErrCorruptFrame) {
 				corrupt.Inc()
 				b.logf("broker: publisher on %q: dropping corrupt frame: %v", channel, err)
-				if rerr := fr.Resync(); rerr == nil {
+				// Resync is always-on traced (anomaly), sampled or not.
+				rstart := time.Now()
+				rerr := fr.Resync()
+				b.cfg.Tracer.Record(tracing.Span{
+					Stream:  channel,
+					Stage:   tracing.StageResync,
+					Start:   rstart.UnixNano(),
+					Dur:     time.Since(rstart).Nanoseconds(),
+					Err:     err.Error(),
+					Anomaly: true,
+				})
+				if rerr == nil {
 					continue
 				}
 				// No further frame boundary before the stream ended.
@@ -588,7 +623,24 @@ func (b *Broker) handlePublisher(conn net.Conn, channel string) {
 		}
 		events.Inc()
 		bytesIn.Add(int64(len(data)))
-		_ = b.submit(st, data)
+		if tr := b.cfg.Tracer; tr != nil && len(info.Anno) > 0 {
+			if tc := tracing.ParseAnno(info.Anno); tc.Valid() {
+				// Arrival marker: a zero-duration decode span pins when the
+				// annotated block reached this hop, which is what lets the
+				// stitcher attribute the publisher→broker wire gap.
+				tr.Record(tracing.Span{
+					Trace:      tc.Trace,
+					Seq:        info.Seq,
+					Stream:     channel,
+					Stage:      tracing.StageDecode,
+					Start:      time.Now().UnixNano(),
+					OriginWall: tc.WallNs,
+					Method:     info.Method.String(),
+					Bytes:      len(data),
+				})
+			}
+		}
+		_ = b.submit(st, data, info.Anno)
 	}
 }
 
@@ -745,6 +797,20 @@ func (b *Broker) noteResume(s *subscriber, lastSeq, firstSeq uint64, replayed in
 				s.channel, lastSeq, replayed, firstSeq, gap),
 		})
 	}
+	// Resume handshakes are always-on traced anomalies: Bytes carries the
+	// replayed block count, Err the gap (blocks lost past the window).
+	sp := tracing.Span{
+		Stream:  fmt.Sprintf("sub.%d", s.id),
+		Seq:     firstSeq,
+		Stage:   tracing.StageResume,
+		Start:   time.Now().UnixNano(),
+		Bytes:   replayed,
+		Anomaly: true,
+	}
+	if gap > 0 {
+		sp.Err = fmt.Sprintf("gap of %d blocks past replay window", gap)
+	}
+	b.cfg.Tracer.Record(sp)
 }
 
 // deliver runs on the encode plane's sequencer goroutine and must never
@@ -880,9 +946,35 @@ func (s *subscriber) sendLive(b *Broker, d encplane.Delivery) bool {
 		// histogram measures distinct frames, not fan-out width.
 		s.queueWait.Observe(time.Since(d.At).Seconds())
 	}
-	s.adapt(len(d.Data), d.Probe)
+	tr := b.cfg.Tracer
+	if tr != nil && d.TC.Valid() {
+		tr.Record(tracing.Span{
+			Trace:      d.TC.Trace,
+			Seq:        f.Seq(),
+			Stream:     fmt.Sprintf("sub.%d", s.id),
+			Stage:      tracing.StageQueue,
+			Start:      d.At.UnixNano(),
+			Dur:        time.Since(d.At).Nanoseconds(),
+			OriginWall: d.TC.WallNs,
+		})
+	}
+	if s.adapt(len(d.Data), d.Probe) && tr != nil {
+		// Class migrations are always-on traced: they are exactly the
+		// adaptation events the paper's Figure 8 plots.
+		tr.Record(tracing.Span{
+			Trace:      d.TC.Trace,
+			Seq:        f.Seq(),
+			Stream:     fmt.Sprintf("sub.%d", s.id),
+			Stage:      tracing.StageMigrate,
+			Start:      time.Now().UnixNano(),
+			OriginWall: d.TC.WallNs,
+			Method:     s.curMethod.String(),
+			Placement:  s.curPlacement.String(),
+			Anomaly:    true,
+		})
+	}
 	if f.RequestedMethod() != s.curMethod {
-		nf, err := s.st.plane.EncodeCached(d.Data, f.Seq(), s.curMethod)
+		nf, err := s.st.plane.EncodeCached(d.Data, f.Seq(), s.curMethod, d.Anno)
 		if err != nil {
 			// Fall back to the delivered frame: stale method, correct bytes.
 			b.logf("broker: subscriber %d re-encode: %v", s.id, err)
@@ -898,6 +990,20 @@ func (s *subscriber) sendLive(b *Broker, d encplane.Delivery) bool {
 		b.removeSub(s, true, "write failed or timed out")
 		return false
 	}
+	if tr != nil && d.TC.Valid() {
+		tr.Record(tracing.Span{
+			Trace:      d.TC.Trace,
+			Seq:        f.Seq(),
+			Stream:     fmt.Sprintf("sub.%d", s.id),
+			Stage:      tracing.StageWrite,
+			Start:      start.UnixNano(),
+			Dur:        time.Since(start).Nanoseconds(),
+			OriginWall: d.TC.WallNs,
+			Method:     f.Info().Method.String(),
+			Placement:  s.curPlacement.String(),
+			Bytes:      len(frame),
+		})
+	}
 	s.observeBlock(b, f.Info(), time.Since(start), len(frame), len(d.Data))
 	return true
 }
@@ -906,7 +1012,7 @@ func (s *subscriber) sendLive(b *Broker, d encplane.Delivery) bool {
 // subscriber's current method and writes it.
 func (s *subscriber) sendReplay(b *Broker, e ringEntry) bool {
 	s.adapt(len(e.data), s.st.plane.ProbeFor(e.data, e.seq))
-	f, err := s.st.plane.EncodeCached(e.data, e.seq, s.curMethod)
+	f, err := s.st.plane.EncodeCached(e.data, e.seq, s.curMethod, e.anno)
 	if err != nil {
 		b.logf("broker: subscriber %d replay encode: %v", s.id, err)
 		return false
@@ -918,6 +1024,21 @@ func (s *subscriber) sendReplay(b *Broker, e ringEntry) bool {
 		b.logf("broker: subscriber %d write: %v", s.id, err)
 		b.removeSub(s, true, "write failed or timed out")
 		return false
+	}
+	if tr := b.cfg.Tracer; tr != nil && len(e.anno) > 0 {
+		if tc := tracing.ParseAnno(e.anno); tc.Valid() {
+			tr.Record(tracing.Span{
+				Trace:      tc.Trace,
+				Seq:        e.seq,
+				Stream:     fmt.Sprintf("sub.%d", s.id),
+				Stage:      tracing.StageWrite,
+				Start:      start.UnixNano(),
+				Dur:        time.Since(start).Nanoseconds(),
+				OriginWall: tc.WallNs,
+				Method:     f.Info().Method.String(),
+				Bytes:      len(frame),
+			})
+		}
 	}
 	s.observeBlock(b, f.Info(), time.Since(start), len(frame), len(e.data))
 	return true
@@ -953,15 +1074,18 @@ func (s *subscriber) observeBlock(b *Broker, info codec.BlockInfo, sendTime time
 // Placement runs inside the same decision: a path whose link outruns its
 // codec flips to receiver-side placement, which surfaces here as Method
 // None with Decision.Offloaded set, and the member migrates to the raw
-// (None, receiver) class.
-func (s *subscriber) adapt(blockLen int, probe sampling.ProbeResult) {
+// (None, receiver) class. It reports whether the path migrated, so callers
+// can trace the event.
+func (s *subscriber) adapt(blockLen int, probe sampling.ProbeResult) bool {
 	dec := s.engine.DecideProbed(blockLen, probe)
 	s.lastDec = dec
 	if dec.Method != s.curMethod || dec.Placement != s.curPlacement {
 		s.curMethod = dec.Method
 		s.curPlacement = dec.Placement
 		s.member.MigratePlaced(dec.Method, dec.Placement)
+		return true
 	}
+	return false
 }
 
 // readDrain consumes and discards anything the subscriber writes (pings),

@@ -15,11 +15,13 @@ type replayRing struct {
 	last    uint64      // most recently assigned sequence number (0 = none yet)
 }
 
-// ringEntry is one retained block: its channel sequence number and the
-// original event bytes (shared read-only with subscriber queues).
+// ringEntry is one retained block: its channel sequence number, the
+// original event bytes (shared read-only with subscriber queues), and the
+// block's frame annotation, so a replayed block keeps its trace context.
 type ringEntry struct {
 	seq  uint64
 	data []byte
+	anno []byte
 }
 
 // setBounds configures retention. Non-positive bounds disable replay.
@@ -33,7 +35,7 @@ func (r *replayRing) enabled() bool { return r.maxBlocks > 0 && r.maxBytes > 0 }
 // stamp assigns the next sequence number to data, retains it when replay is
 // enabled, and reports what eviction had to discard to stay within bounds.
 // Sequence numbers start at 1.
-func (r *replayRing) stamp(data []byte) (seq uint64, evictedBlocks int, evictedBytes int64) {
+func (r *replayRing) stamp(data, anno []byte) (seq uint64, evictedBlocks int, evictedBytes int64) {
 	r.last++
 	seq = r.last
 	if !r.enabled() || int64(len(data)) > r.maxBytes {
@@ -46,7 +48,7 @@ func (r *replayRing) stamp(data []byte) (seq uint64, evictedBlocks int, evictedB
 		}
 		return seq, evictedBlocks, evictedBytes
 	}
-	r.entries = append(r.entries, ringEntry{seq: seq, data: data})
+	r.entries = append(r.entries, ringEntry{seq: seq, data: data, anno: anno})
 	r.bytes += int64(len(data))
 	evictedBlocks, evictedBytes = r.evictTo(r.maxBlocks, r.maxBytes)
 	return seq, evictedBlocks, evictedBytes

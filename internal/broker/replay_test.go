@@ -19,7 +19,7 @@ func TestReplayRingZeroValueStampsOnly(t *testing.T) {
 		t.Fatal("zero ring reports enabled")
 	}
 	for i := 1; i <= 3; i++ {
-		seq, evB, evBy := r.stamp([]byte("x"))
+		seq, evB, evBy := r.stamp([]byte("x"), nil)
 		if seq != uint64(i) || evB != 0 || evBy != 0 {
 			t.Fatalf("stamp #%d = (%d, %d, %d)", i, seq, evB, evBy)
 		}
@@ -37,7 +37,7 @@ func TestReplayRingBlockBound(t *testing.T) {
 	r.setBounds(3, 1<<20)
 	var evicted int
 	for i := 0; i < 5; i++ {
-		_, evB, _ := r.stamp([]byte{byte(i)})
+		_, evB, _ := r.stamp([]byte{byte(i)}, nil)
 		evicted += evB
 	}
 	if evicted != 2 || r.len() != 3 {
@@ -58,7 +58,7 @@ func TestReplayRingByteBound(t *testing.T) {
 	var r replayRing
 	r.setBounds(1000, 10) // ten payload bytes total
 	for i := 0; i < 6; i++ {
-		r.stamp([]byte("abcd")) // 4 bytes each; at most 2 fit under 10
+		r.stamp([]byte("abcd"), nil) // 4 bytes each; at most 2 fit under 10
 	}
 	if r.len() != 2 || r.bytes != 8 {
 		t.Fatalf("len %d bytes %d; want 2, 8", r.len(), r.bytes)
@@ -71,8 +71,8 @@ func TestReplayRingByteBound(t *testing.T) {
 func TestReplayRingOversizedBlockNeverRetained(t *testing.T) {
 	var r replayRing
 	r.setBounds(8, 10)
-	r.stamp([]byte("ok"))
-	seq, evB, evBy := r.stamp(make([]byte, 64)) // alone exceeds the byte budget
+	r.stamp([]byte("ok"), nil)
+	seq, evB, evBy := r.stamp(make([]byte, 64), nil) // alone exceeds the byte budget
 	if seq != 2 {
 		t.Fatalf("seq = %d", seq)
 	}
@@ -91,7 +91,7 @@ func TestReplayRingCaughtUpAndAbsurdResume(t *testing.T) {
 	var r replayRing
 	r.setBounds(8, 1<<20)
 	for i := 0; i < 4; i++ {
-		r.stamp([]byte("x"))
+		r.stamp([]byte("x"), nil)
 	}
 	if replay, first := r.replayFrom(4); replay != nil || first != 5 {
 		t.Fatalf("caught-up resume = (%v, %d), want (nil, 5)", replay, first)
@@ -105,7 +105,7 @@ func TestReplayRingCompaction(t *testing.T) {
 	var r replayRing
 	r.setBounds(10, 1<<20)
 	for i := 0; i < 500; i++ {
-		r.stamp([]byte{byte(i)})
+		r.stamp([]byte{byte(i)}, nil)
 	}
 	if r.len() != 10 {
 		t.Fatalf("len = %d, want 10", r.len())

@@ -26,9 +26,17 @@ import (
 //     sequence number between compLen and the CRC, stamped by transports
 //     that offer replay/resume (the fan-out broker). The seq varint is
 //     inside the CRC coverage.
+//   - version 4 (annotated): a version-3 frame carrying an opaque
+//     annotation block between the sequence number and the CRC:
+//     annoLen(uvarint) followed by annoLen annotation bytes, all inside
+//     the CRC coverage. Annotations are TLV-structured (see the tracing
+//     package for the trace-context kind); readers surface the raw bytes
+//     as BlockInfo.Anno and skip kinds they do not understand, so the
+//     format extends without another version bump.
 //
-// Writers emit version 2 (or 3 via AppendFrameSeq); readers accept all
-// three, so pre-CRC-extension frames (and recorded streams) still decode.
+// Writers emit version 2 (3 via AppendFrameSeq, 4 via AppendFrameOpts
+// with a non-empty annotation); readers accept all four, so
+// pre-CRC-extension frames (and recorded streams) still decode.
 const (
 	magic0 = 0xEC // "ECho"-flavoured magic
 	magic1 = 0x40
@@ -41,6 +49,14 @@ const (
 	// FrameVersionSeq is the sequenced wire version: a v2 frame carrying a
 	// per-channel block sequence number for replay/resume transports.
 	FrameVersionSeq = 3
+	// FrameVersionAnno is the annotated wire version: a v3 frame carrying
+	// an opaque, CRC-covered annotation block (trace context today; TLV
+	// kinds unknown to a reader are skipped).
+	FrameVersionAnno = 4
+	// MaxAnnoLen bounds a frame's annotation block. Annotations are
+	// metadata (a stamped trace context is ~30 bytes), so the cap exists
+	// only to keep a hostile annoLen varint from driving allocations.
+	MaxAnnoLen = 1024
 	// MaxFrameLen bounds a single frame's original and compressed payload
 	// lengths (16 MiB), keeping hostile headers from driving huge
 	// allocations. It is exported so transports (the fan-out broker, the
@@ -94,6 +110,11 @@ type BlockInfo struct {
 	// appears on a healthy stream.
 	Seq    uint64
 	HasSeq bool
+	// Anno holds the raw annotation bytes carried by an annotated
+	// (version-4) frame, nil otherwise. The slice is a copy owned by the
+	// caller: it stays valid after the next ReadBlock. Parse it with the
+	// tracing package (or any TLV consumer); unknown kinds are skipped.
+	Anno []byte
 	// DecodeTime is the CPU time FrameReader.ReadBlock spent decompressing
 	// the payload (network wait excluded) — the decode-latency sample the
 	// telemetry layer histograms. Zero for frames produced by writers.
@@ -131,7 +152,7 @@ func NewFrameWriter(w io.Writer, reg *Registry) *FrameWriter {
 // raw and flagged (the paper's selector already avoids such blocks, but
 // the wire format guarantees we never expand traffic).
 func AppendFrame(dst []byte, reg *Registry, m Method, data []byte) ([]byte, BlockInfo, error) {
-	return appendFrame(dst, reg, m, data, 0, false)
+	return AppendFrameOpts(dst, reg, m, data, FrameOpts{})
 }
 
 // AppendFrameSeq is AppendFrame with a per-channel block sequence number:
@@ -139,14 +160,33 @@ func AppendFrame(dst []byte, reg *Registry, m Method, data []byte) ([]byte, Bloc
 // coverage. Receivers surface it as BlockInfo.Seq/HasSeq, which feeds the
 // delivery tracker's dedup and gap accounting on resumed streams.
 func AppendFrameSeq(dst []byte, reg *Registry, m Method, data []byte, seq uint64) ([]byte, BlockInfo, error) {
-	return appendFrame(dst, reg, m, data, seq, true)
+	return AppendFrameOpts(dst, reg, m, data, FrameOpts{Seq: seq, HasSeq: true})
 }
 
-func appendFrame(dst []byte, reg *Registry, m Method, data []byte, seq uint64, hasSeq bool) ([]byte, BlockInfo, error) {
+// FrameOpts selects the optional frame-header extensions. The zero value
+// emits a plain version-2 frame; HasSeq upgrades to version 3; a non-empty
+// Anno upgrades to version 4 (which always carries the sequence field, so
+// Anno implies HasSeq).
+type FrameOpts struct {
+	Seq    uint64
+	HasSeq bool
+	// Anno is an opaque annotation block (at most MaxAnnoLen bytes),
+	// CRC-covered like the rest of the header. Writers stamp TLV records
+	// here — today the tracing package's trace context.
+	Anno []byte
+}
+
+// AppendFrameOpts is AppendFrame with explicit header extensions; the
+// emitted wire version is the lowest one that can carry opts.
+func AppendFrameOpts(dst []byte, reg *Registry, m Method, data []byte, opts FrameOpts) ([]byte, BlockInfo, error) {
 	if reg == nil {
 		reg = defaultRegistry
 	}
-	info := BlockInfo{Method: m, Requested: m, OrigLen: len(data), Seq: seq, HasSeq: hasSeq}
+	hasSeq := opts.HasSeq || len(opts.Anno) > 0
+	info := BlockInfo{Method: m, Requested: m, OrigLen: len(data), Seq: opts.Seq, HasSeq: hasSeq}
+	if len(opts.Anno) > MaxAnnoLen {
+		return dst, info, fmt.Errorf("codec: annotation too long (%d > %d)", len(opts.Anno), MaxAnnoLen)
+	}
 	c, err := reg.Get(m)
 	if err != nil {
 		return dst, info, err
@@ -174,7 +214,11 @@ func appendFrame(dst []byte, reg *Registry, m Method, data []byte, seq uint64, h
 	info.CompLen = len(payload)
 
 	version := byte(FrameVersion)
-	if hasSeq {
+	switch {
+	case len(opts.Anno) > 0:
+		version = FrameVersionAnno
+		info.Anno = opts.Anno
+	case hasSeq:
 		version = FrameVersionSeq
 	}
 	base := len(dst)
@@ -182,7 +226,11 @@ func appendFrame(dst []byte, reg *Registry, m Method, data []byte, seq uint64, h
 	dst = binary.AppendUvarint(dst, uint64(len(data)))
 	dst = binary.AppendUvarint(dst, uint64(len(payload)))
 	if hasSeq {
-		dst = binary.AppendUvarint(dst, seq)
+		dst = binary.AppendUvarint(dst, opts.Seq)
+	}
+	if version == FrameVersionAnno {
+		dst = binary.AppendUvarint(dst, uint64(len(opts.Anno)))
+		dst = append(dst, opts.Anno...)
 	}
 	crc := crc32.Update(0, castagnoli, dst[base:]) // header…
 	crc = crc32.Update(crc, castagnoli, payload)   // …then payload
@@ -283,7 +331,7 @@ func (fr *FrameReader) ReadBlock() ([]byte, BlockInfo, error) {
 		return nil, info, ErrBadMagic
 	}
 	version := fixed[2]
-	if version != FrameVersion && version != FrameVersionV1 && version != FrameVersionSeq {
+	if !plausibleBoundary(version) {
 		return nil, info, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
 	info.Method = Method(fixed[3])
@@ -304,12 +352,31 @@ func (fr *FrameReader) ReadBlock() ([]byte, BlockInfo, error) {
 		return nil, info, ErrFrameSize
 	}
 	info.OrigLen, info.CompLen = int(origLen), int(compLen)
-	if version == FrameVersionSeq {
+	if version >= FrameVersionSeq {
 		seq, err := fr.readUvarint()
 		if err != nil {
 			return nil, info, unexpectedEOF(err)
 		}
 		info.Seq, info.HasSeq = seq, true
+	}
+	if version == FrameVersionAnno {
+		annoLen, err := fr.readUvarint()
+		if err != nil {
+			return nil, info, unexpectedEOF(err)
+		}
+		if annoLen > MaxAnnoLen {
+			return nil, info, ErrFrameSize
+		}
+		if annoLen > 0 {
+			// Copied out: fr.hdr is scratch reused by the next ReadBlock,
+			// but BlockInfo.Anno must outlive it.
+			anno := make([]byte, annoLen)
+			if err := fr.readFull(anno); err != nil {
+				return nil, info, unexpectedEOF(err)
+			}
+			fr.hdr = append(fr.hdr, anno...) // CRC + Resync cover the annotation
+			info.Anno = anno
+		}
 	}
 	// The v2 CRC covers exactly the header bytes consumed so far.
 	hdrCRC := crc32.Update(0, castagnoli, fr.hdr)
@@ -356,7 +423,7 @@ func (fr *FrameReader) ReadBlock() ([]byte, BlockInfo, error) {
 // matches inside compressed payloads; a false positive just yields another
 // ErrCorruptFrame and another Resync, each advancing past the bogus match.
 func plausibleBoundary(ver byte) bool {
-	return ver == FrameVersion || ver == FrameVersionV1 || ver == FrameVersionSeq
+	return ver >= FrameVersionV1 && ver <= FrameVersionAnno
 }
 
 // Resync abandons the current (corrupt) frame and scans forward for the

@@ -17,6 +17,16 @@ func fuzzSeeds(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0xFF}, 300))
 	f.Add(bytes.Repeat([]byte("low entropy low entropy "), 40))
 	f.Add([]byte{0xEC, 0x40, 1, 0, 0, 0, 0, 0, 0, 0, 0}) // frame-ish bytes
+	// Annotated (v4) frame shapes: a healthy-looking header with an
+	// annotation, a truncated one cut inside the annotation region, and
+	// one whose annotation carries an unknown TLV kind with a lying
+	// length — the reader must error cleanly, never panic.
+	if v4, _, err := AppendFrameOpts(nil, nil, None, []byte("seed"), FrameOpts{Seq: 3, Anno: []byte{0x01, 2, 7, 8}}); err == nil {
+		f.Add(v4)
+		f.Add(v4[:len(v4)-6])
+	}
+	f.Add([]byte{0xEC, 0x40, 4, 0, 0, 4, 4, 1, 3, 0x7F, 0xFF, 0x02})          // unknown kind, hostile TLV length
+	f.Add([]byte{0xEC, 0x40, 4, 0, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}) // hostile annoLen varint
 }
 
 func FuzzRoundtripAllMethods(f *testing.F) {
@@ -85,6 +95,39 @@ func FuzzFrameRoundtrip(f *testing.F) {
 		}
 		if info.OrigLen != len(data) {
 			t.Fatalf("OrigLen = %d", info.OrigLen)
+		}
+	})
+}
+
+// FuzzFrameAnnoRoundtrip drives arbitrary annotation bytes through the v4
+// writer and reader: whatever TLV soup the annotation holds, the frame must
+// round-trip it verbatim (the frame layer treats it as opaque).
+func FuzzFrameAnnoRoundtrip(f *testing.F) {
+	f.Add([]byte("payload"), []byte{0x01, 2, 7, 8}, uint64(1))
+	f.Add([]byte(nil), []byte{0x7F, 0}, uint64(0))
+	f.Add(bytes.Repeat([]byte("x"), 100), bytes.Repeat([]byte{0x80}, 40), uint64(1<<40))
+	f.Fuzz(func(t *testing.T, data, anno []byte, seq uint64) {
+		if len(anno) > MaxAnnoLen {
+			anno = anno[:MaxAnnoLen]
+		}
+		frame, _, err := AppendFrameOpts(nil, nil, LempelZiv, data, FrameOpts{Seq: seq, Anno: anno})
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		got, info, err := NewFrameReader(bytes.NewReader(frame), nil).ReadBlock()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("payload mismatch")
+		}
+		if len(anno) > 0 {
+			if !bytes.Equal(info.Anno, anno) {
+				t.Fatalf("anno mismatch: %x != %x", info.Anno, anno)
+			}
+			if info.Seq != seq || !info.HasSeq {
+				t.Fatalf("seq = (%d, %v)", info.Seq, info.HasSeq)
+			}
 		}
 	})
 }

@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"ccx/internal/tracing"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite the golden wire-format vectors under testdata/")
@@ -24,6 +26,11 @@ var goldenMethods = []Method{None, Huffman, Arithmetic, LempelZiv, BurrowsWheele
 // enough to need a two-byte varint, so the seq field's wire width is pinned
 // too.
 const goldenSeq = 300
+
+// goldenAnno is the annotation stamped into the v4 vectors: a trace
+// context with fixed fields, pinning the TLV layout (kind, uvarint length,
+// uvarint-encoded id and clocks) alongside the frame header itself.
+var goldenAnno = tracing.Context{Trace: 0xABCD1234, WallNs: 1700000000000000000, MonoNs: 123456789}.AppendAnno(nil)
 
 func goldenName(version int, m Method) string {
 	name := m.String()
@@ -60,7 +67,11 @@ func TestGoldenWireVectors(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for version, frame := range map[int][]byte{1: v1, 2: v2, 3: v3} {
+			v4, _, err := AppendFrameOpts(nil, nil, m, goldenPayload, FrameOpts{Seq: goldenSeq, Anno: goldenAnno})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for version, frame := range map[int][]byte{1: v1, 2: v2, 3: v3, 4: v4} {
 				path := filepath.Join("testdata", goldenName(version, m))
 				if err := os.WriteFile(path, frame, 0o644); err != nil {
 					t.Fatal(err)
@@ -71,7 +82,7 @@ func TestGoldenWireVectors(t *testing.T) {
 	}
 
 	for _, m := range goldenMethods {
-		for _, version := range []int{1, 2, 3} {
+		for _, version := range []int{1, 2, 3, 4} {
 			name := goldenName(version, m)
 			t.Run(name, func(t *testing.T) {
 				frame, err := os.ReadFile(filepath.Join("testdata", name))
@@ -95,12 +106,22 @@ func TestGoldenWireVectors(t *testing.T) {
 				if m != None && info.CompLen >= info.OrigLen {
 					t.Fatalf("golden %v frame is not actually compressed", m)
 				}
-				if version == 3 {
+				if version >= 3 {
 					if !info.HasSeq || info.Seq != goldenSeq {
-						t.Fatalf("v3 seq = (%d, %v), want (%d, true)", info.Seq, info.HasSeq, goldenSeq)
+						t.Fatalf("v%d seq = (%d, %v), want (%d, true)", version, info.Seq, info.HasSeq, goldenSeq)
 					}
 				} else if info.HasSeq {
 					t.Fatalf("v%d frame decoded with a sequence number", version)
+				}
+				if version == 4 {
+					if !bytes.Equal(info.Anno, goldenAnno) {
+						t.Fatalf("v4 anno = %x, want %x", info.Anno, goldenAnno)
+					}
+					if tc := tracing.ParseAnno(info.Anno); tc != (tracing.Context{Trace: 0xABCD1234, WallNs: 1700000000000000000, MonoNs: 123456789}) {
+						t.Fatalf("v4 trace context = %+v", tc)
+					}
+				} else if info.Anno != nil {
+					t.Fatalf("v%d frame decoded with an annotation", version)
 				}
 
 				// The current writers must still emit the v2/v3 vectors
@@ -121,6 +142,14 @@ func TestGoldenWireVectors(t *testing.T) {
 					}
 					if !bytes.Equal(enc, frame) {
 						t.Fatal("AppendFrameSeq no longer reproduces the golden v3 frame")
+					}
+				case 4:
+					enc, _, err := AppendFrameOpts(nil, nil, m, goldenPayload, FrameOpts{Seq: goldenSeq, Anno: goldenAnno})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(enc, frame) {
+						t.Fatal("AppendFrameOpts no longer reproduces the golden v4 frame")
 					}
 				}
 

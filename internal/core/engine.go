@@ -19,7 +19,6 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
 	"sync"
 	"time"
@@ -28,6 +27,7 @@ import (
 	"ccx/internal/codec"
 	"ccx/internal/sampling"
 	"ccx/internal/selector"
+	"ccx/internal/tracing"
 )
 
 // Config assembles an Engine.
@@ -203,6 +203,7 @@ func (e *Engine) DecideProbed(blockLen int, probe sampling.ProbeResult) selector
 		ReducingSpeed: probe.ReducingSpeed,
 		Entropy:       probe.Entropy,
 		Repetition:    probe.Repetition,
+		ProbeTime:     probe.Duration,
 	}
 	pl := e.plc.Decide(in)
 	if !e.plc.Encodes(pl) {
@@ -254,33 +255,49 @@ type SendFunc func(frame []byte) (time.Duration, error)
 // concurrent use; create one per stream (matching the paper's one loop per
 // data exchange).
 type Session struct {
-	e     *Engine
-	buf   bytes.Buffer
-	fw    *codec.FrameWriter
-	index int
+	e       *Engine
+	scratch []byte // frame encode buffer, reused across blocks
+	index   int
 }
 
 // NewSession returns a Session on the engine.
 func NewSession(e *Engine) *Session {
-	s := &Session{e: e}
-	s.fw = codec.NewFrameWriter(&s.buf, e.reg)
-	return s
+	return &Session{e: e}
 }
 
 // TransmitBlock runs one iteration of §2.5's loop body for block, using
 // send as the network. next is the following block (nil at end of stream);
 // its probe overlaps the send, exactly as the paper forks its sampling
 // process before sending and joins it after.
+//
+// When the engine's telemetry carries a Tracer and the block is head-
+// sampled, a trace context is stamped into the frame's v4 annotation (the
+// frame then also carries the block's ordinal as its sequence number) and
+// the probe/encode/write spans are recorded. Unsampled blocks emit exactly
+// the pre-tracing v2 frame bytes.
 func (s *Session) TransmitBlock(block, next []byte, send SendFunc) (BlockResult, error) {
 	e := s.e
 	res := BlockResult{Index: s.index, Workers: 1}
 	s.index++
 
-	res.Decision = e.Decide(block)
+	tr := e.tel.Tracer
+	var tc tracing.Context
+	seqno := uint64(res.Index) + 1
+	if tr.Sample() {
+		tc = tr.NewContext()
+		tr.Record(tracing.Span{Trace: tc.Trace, Seq: seqno, Stream: e.tel.Stream, Stage: tracing.StageStamp, Start: tc.WallNs})
+	}
 
+	res.Decision = e.Decide(block)
+	res.Decision.Trace = tc.Trace
+
+	var opts codec.FrameOpts
+	if tc.Valid() {
+		opts = codec.FrameOpts{Seq: seqno, Anno: tc.AppendAnno(nil)}
+	}
 	start := e.now()
-	s.buf.Reset()
-	info, err := s.fw.WriteBlock(res.Decision.Method, block)
+	frame, info, err := codec.AppendFrameOpts(s.scratch[:0], e.reg, res.Decision.Method, block, opts)
+	s.scratch = frame
 	if err != nil {
 		return res, fmt.Errorf("core: encode block %d: %w", res.Index, err)
 	}
@@ -289,7 +306,6 @@ func (s *Session) TransmitBlock(block, next []byte, send SendFunc) (BlockResult,
 		res.CompressTime = time.Duration(float64(res.CompressTime) * scale)
 	}
 	res.Info = info
-	frame := s.buf.Bytes()
 	res.WireBytes = len(frame)
 
 	if next != nil {
@@ -301,6 +317,9 @@ func (s *Session) TransmitBlock(block, next []byte, send SendFunc) (BlockResult,
 	}
 	res.SendTime = d
 	e.mon.Observe(len(frame), d)
+	if tc.Valid() {
+		e.recordTxSpans(tc, seqno, res, time.Now().UnixNano(), 0)
+	}
 	e.ObserveBlock(res)
 	return res, nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"ccx/internal/codec"
 	"ccx/internal/selector"
+	"ccx/internal/tracing"
 )
 
 // Pipeline runs the engine's per-block loop on a bounded worker pool: each
@@ -68,7 +69,13 @@ type pipeJob struct {
 	// (the encode plane runs one selection per method-equivalence class).
 	preDecided bool
 	method     codec.Method
-	out        chan pipeResult
+	// anno is the frame's v4 annotation (nil = unannotated): stamped at
+	// submit when this pipeline is the trace origin, or handed down by the
+	// encode plane propagating an upstream publisher's context. tc is its
+	// parsed trace context, kept alongside for span linkage.
+	anno []byte
+	tc   tracing.Context
+	out  chan pipeResult
 }
 
 type pipeResult struct {
@@ -76,6 +83,8 @@ type pipeResult struct {
 	frame []byte
 	buf   *[]byte
 	hb    bool
+	tc    tracing.Context
+	seq   uint64
 	err   error
 }
 
@@ -138,6 +147,14 @@ func (p *Pipeline) SubmitMethod(block []byte, m codec.Method, seq uint64) error 
 	return p.submit(pipeJob{block: block, seq: seq, hasSeq: true, preDecided: true, method: m})
 }
 
+// SubmitMethodAnno is SubmitMethod for a block carrying a frame annotation:
+// anno is copied verbatim into the emitted v4 frame (propagating whatever
+// TLVs an upstream hop stamped), and tc — its parsed trace context — links
+// the encode/write spans this pipeline records to the originating trace.
+func (p *Pipeline) SubmitMethodAnno(block []byte, m codec.Method, seq uint64, anno []byte, tc tracing.Context) error {
+	return p.submit(pipeJob{block: block, seq: seq, hasSeq: true, preDecided: true, method: m, anno: anno, tc: tc})
+}
+
 func (p *Pipeline) submit(job pipeJob) error {
 	p.mu.Lock()
 	if p.closed {
@@ -156,6 +173,17 @@ func (p *Pipeline) submit(job pipeJob) error {
 		p.index++
 	}
 	p.mu.Unlock()
+	// Origin sampling: when this pipeline starts the trace (nothing
+	// upstream annotated the block), the head-based decision happens here,
+	// before the job races the worker pool.
+	if tr := p.e.tel.Tracer; !job.hb && len(job.anno) == 0 && !job.preDecided && tr.Sample() {
+		job.tc = tr.NewContext()
+		if !job.hasSeq {
+			job.seq, job.hasSeq = uint64(job.index)+1, true
+		}
+		job.anno = job.tc.AppendAnno(nil)
+		tr.Record(tracing.Span{Trace: job.tc.Trace, Seq: job.seq, Stream: p.e.tel.Stream, Stage: tracing.StageStamp, Start: job.tc.WallNs})
+	}
 	if ins := p.e.tx; ins != nil {
 		ins.pipeDepth.Add(1)
 	}
@@ -216,16 +244,11 @@ func (p *Pipeline) encode(job pipeJob) pipeResult {
 	} else {
 		res.Decision = e.Decide(job.block)
 	}
+	res.Decision.Trace = job.tc.Trace
 	start := e.now()
-	var (
-		frame []byte
-		err   error
-	)
-	if job.hasSeq {
-		frame, res.Info, err = codec.AppendFrameSeq((*bufp)[:0], e.reg, res.Decision.Method, job.block, job.seq)
-	} else {
-		frame, res.Info, err = codec.AppendFrame((*bufp)[:0], e.reg, res.Decision.Method, job.block)
-	}
+	frame, info, err := codec.AppendFrameOpts((*bufp)[:0], e.reg, res.Decision.Method, job.block,
+		codec.FrameOpts{Seq: job.seq, HasSeq: job.hasSeq, Anno: job.anno})
+	res.Info = info
 	res.CompressTime = e.now().Sub(start)
 	if scale := e.smp.SpeedScale; scale > 0 && scale != 1 {
 		res.CompressTime = time.Duration(float64(res.CompressTime) * scale)
@@ -234,7 +257,11 @@ func (p *Pipeline) encode(job pipeJob) pipeResult {
 		return pipeResult{buf: bufp, err: fmt.Errorf("core: encode block %d: %w", res.Index, err)}
 	}
 	res.WireBytes = len(frame)
-	return pipeResult{res: res, frame: frame, buf: bufp}
+	seq := job.seq
+	if !job.hasSeq {
+		seq = uint64(job.index) + 1
+	}
+	return pipeResult{res: res, frame: frame, buf: bufp, tc: job.tc, seq: seq}
 }
 
 // emit is the sequencer: it drains results strictly in submission order,
@@ -278,6 +305,9 @@ func (p *Pipeline) emit() {
 			r.res.SendTime = d
 			r.res.PipelineWait = wait
 			p.e.mon.Observe(len(r.frame), d)
+			if r.tc.Valid() {
+				p.e.recordTxSpans(r.tc, r.seq, r.res, time.Now().UnixNano(), wait)
+			}
 			p.e.ObserveBlock(r.res)
 			if p.onBlock != nil {
 				p.onBlock(r.res)

@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 
+	"time"
+
 	"ccx/internal/codec"
 	"ccx/internal/metrics"
 	"ccx/internal/obs"
 	"ccx/internal/selector"
+	"ccx/internal/tracing"
 )
 
 // Telemetry wires an adaptation loop into the observability plane. Both
@@ -22,10 +25,15 @@ type Telemetry struct {
 	Trace *obs.DecisionLog
 	// Stream labels this loop's trace records ("send", "sub.3", ...).
 	Stream string
+	// Tracer records distributed-trace spans for head-sampled blocks (and
+	// always for anomalies). On a sending engine it also owns the sampling
+	// decision: sampled blocks get a trace context stamped into their frame
+	// annotation. nil disables tracing entirely.
+	Tracer *tracing.Tracer
 }
 
 // enabled reports whether any sink is configured.
-func (t Telemetry) enabled() bool { return t.Metrics != nil || t.Trace != nil }
+func (t Telemetry) enabled() bool { return t.Metrics != nil || t.Trace != nil || t.Tracer != nil }
 
 // txInstruments are the send-side metrics, resolved once at engine build
 // so the per-block path touches only atomics.
@@ -127,8 +135,43 @@ func (e *Engine) ObserveBlock(res BlockResult) {
 			Fallback:     res.Info.Fallback,
 			Workers:      res.Workers,
 			PipeWaitNs:   int64(res.PipelineWait),
+			Trace:        res.Decision.Trace,
 		})
 	}
+}
+
+// recordTxSpans appends the send-side span set for one sampled block. The
+// spans are reconstructed backwards from endNs (the wall clock right after
+// the write returned) using the measured phase durations, so the unsampled
+// hot path takes zero extra timestamps. pipeWait is the sequencer stall
+// (0 on the sequential loop).
+func (e *Engine) recordTxSpans(tc tracing.Context, seq uint64, res BlockResult, endNs int64, pipeWait time.Duration) {
+	tr := e.tel.Tracer
+	if tr == nil || !tc.Valid() {
+		return
+	}
+	wr := int64(res.SendTime)
+	wait := int64(pipeWait)
+	enc := int64(res.CompressTime)
+	probe := int64(res.Decision.Inputs.ProbeTime)
+	method := res.Info.Method.String()
+	placement := res.Decision.Placement.String()
+	base := tracing.Span{Trace: tc.Trace, Seq: seq, Stream: e.tel.Stream, Method: method, Placement: placement}
+
+	s := base
+	s.Stage, s.Start, s.Dur = tracing.StageProbe, endNs-wr-wait-enc-probe, probe
+	tr.Record(s)
+	s = base
+	s.Stage, s.Start, s.Dur, s.Bytes = tracing.StageEncode, endNs-wr-wait-enc, enc, res.WireBytes
+	tr.Record(s)
+	if wait > 0 {
+		s = base
+		s.Stage, s.Start, s.Dur = tracing.StagePipeWait, endNs-wr-wait, wait
+		tr.Record(s)
+	}
+	s = base
+	s.Stage, s.Start, s.Dur, s.Bytes = tracing.StageWrite, endNs-wr, wr, res.WireBytes
+	tr.Record(s)
 }
 
 // rxInstruments are the receive-side metrics, resolved by SetTelemetry.
@@ -196,6 +239,22 @@ func (r *Reader) observeBlock(info codec.BlockInfo) {
 			FrameSeq:  info.Seq,
 		})
 	}
+	if tr := r.tel.Tracer; tr != nil && len(info.Anno) > 0 {
+		if tc := tracing.ParseAnno(info.Anno); tc.Valid() {
+			now := time.Now().UnixNano()
+			tr.Record(tracing.Span{
+				Trace:      tc.Trace,
+				Seq:        info.Seq,
+				Stream:     r.tel.Stream,
+				Stage:      tracing.StageDecode,
+				Start:      now - int64(info.DecodeTime),
+				Dur:        int64(info.DecodeTime),
+				OriginWall: tc.WallNs,
+				Method:     info.Method.String(),
+				Bytes:      info.CompLen,
+			})
+		}
+	}
 }
 
 // observeDup records one replayed duplicate the delivery tracker
@@ -211,6 +270,16 @@ func (r *Reader) observeDup(info codec.BlockInfo) {
 			Method:   info.Method.String(),
 			FrameSeq: info.Seq,
 			Dup:      true,
+		})
+	}
+	if tr := r.tel.Tracer; tr != nil {
+		tr.Record(tracing.Span{
+			Trace:   tracing.ParseAnno(info.Anno).Trace,
+			Seq:     info.Seq,
+			Stream:  r.tel.Stream,
+			Stage:   tracing.StageDup,
+			Start:   time.Now().UnixNano(),
+			Anomaly: true,
 		})
 	}
 }
@@ -230,6 +299,16 @@ func (r *Reader) observeGap(seq, blocks uint64) {
 			GapBlocks: blocks,
 		})
 	}
+	if tr := r.tel.Tracer; tr != nil {
+		tr.Record(tracing.Span{
+			Seq:     seq,
+			Stream:  r.tel.Stream,
+			Stage:   tracing.StageGap,
+			Start:   time.Now().UnixNano(),
+			Bytes:   int(blocks),
+			Anomaly: true,
+		})
+	}
 }
 
 // observeCorrupt records one corrupt frame the reader skipped via resync.
@@ -243,6 +322,15 @@ func (r *Reader) observeCorrupt(err error) {
 			Block:   r.seq,
 			Corrupt: true,
 			Err:     err.Error(),
+		})
+	}
+	if tr := r.tel.Tracer; tr != nil {
+		tr.Record(tracing.Span{
+			Stream:  r.tel.Stream,
+			Stage:   tracing.StageResync,
+			Start:   time.Now().UnixNano(),
+			Err:     err.Error(),
+			Anomaly: true,
 		})
 	}
 }

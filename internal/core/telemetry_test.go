@@ -12,6 +12,7 @@ import (
 	"ccx/internal/metrics"
 	"ccx/internal/obs"
 	"ccx/internal/selector"
+	"ccx/internal/tracing"
 )
 
 func telemetryEngine(t *testing.T, blockSize int, tel Telemetry) *Engine {
@@ -204,5 +205,15 @@ func BenchmarkTransmitBlock(b *testing.B) {
 	b.Run("telemetry=off", func(b *testing.B) { run(b, Telemetry{}) })
 	b.Run("telemetry=on", func(b *testing.B) {
 		run(b, Telemetry{Metrics: metrics.NewRegistry(), Trace: obs.NewDecisionLog(0), Stream: "bench"})
+	})
+	// Tracing variants stack on full telemetry, so the deltas isolate what
+	// the span plane adds on top of PR 3's metrics cost.
+	b.Run("tracing=1pct", func(b *testing.B) {
+		run(b, Telemetry{Metrics: metrics.NewRegistry(), Trace: obs.NewDecisionLog(0), Stream: "bench",
+			Tracer: tracing.New("bench", 0.01, 4096)})
+	})
+	b.Run("tracing=always", func(b *testing.B) {
+		run(b, Telemetry{Metrics: metrics.NewRegistry(), Trace: obs.NewDecisionLog(0), Stream: "bench",
+			Tracer: tracing.New("bench", 1, 4096)})
 	})
 }

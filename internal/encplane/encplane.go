@@ -43,6 +43,7 @@ import (
 	"ccx/internal/obs"
 	"ccx/internal/sampling"
 	"ccx/internal/selector"
+	"ccx/internal/tracing"
 )
 
 // DefaultCacheBytes bounds each channel's encoded-frame cache when the
@@ -67,17 +68,22 @@ type Config struct {
 	// Trace receives one record per encoded frame (stream "encplane"),
 	// carrying the class label and fan-out width. nil disables.
 	Trace *obs.DecisionLog
+	// Tracer records distributed-trace encode spans for blocks whose frame
+	// annotation carries a trace context (and cache-hit spans when a
+	// replay or migration is served from the frame cache). nil disables.
+	Tracer *tracing.Tracer
 	// Logf logs encode failures (nil = silent).
 	Logf func(format string, args ...any)
 }
 
 // Plane owns the per-channel encode state. Create with New.
 type Plane struct {
-	reg   *codec.Registry
-	smp   *sampling.Sampler
-	met   *metrics.Registry
-	trace *obs.DecisionLog
-	logf  func(string, ...any)
+	reg    *codec.Registry
+	smp    *sampling.Sampler
+	met    *metrics.Registry
+	trace  *obs.DecisionLog
+	tracer *tracing.Tracer
+	logf   func(string, ...any)
 
 	engine     *core.Engine // shared by every channel pipeline
 	workers    int
@@ -92,13 +98,13 @@ type Plane struct {
 	// compression placement (encplane.placement.<name>) — the ccstat "plc"
 	// column and ccswarm's per-placement report read these.
 	placementDel [selector.NumPlacements]*metrics.Counter
-	hits       *metrics.Counter
-	misses     *metrics.Counter
-	evictions  *metrics.Counter
-	migrations *metrics.Counter
-	errors     *metrics.Counter
-	framesLive *metrics.Gauge
-	encLat     *metrics.Histogram
+	hits         *metrics.Counter
+	misses       *metrics.Counter
+	evictions    *metrics.Counter
+	migrations   *metrics.Counter
+	errors       *metrics.Counter
+	framesLive   *metrics.Gauge
+	encLat       *metrics.Histogram
 
 	mu     sync.Mutex
 	chans  map[string]*Channel
@@ -136,6 +142,7 @@ func New(cfg Config) (*Plane, error) {
 		},
 		met:        met,
 		trace:      cfg.Trace,
+		tracer:     cfg.Tracer,
 		logf:       logf,
 		engine:     engine,
 		workers:    cfg.Workers,
@@ -287,6 +294,11 @@ type pendingJob struct {
 	data    []byte
 	probe   sampling.ProbeResult
 	at      time.Time
+	// anno is the block's frame annotation (propagated into every class's
+	// encoded frame) and tc its parsed trace context, parsed once per
+	// publish rather than once per class.
+	anno []byte
+	tc   tracing.Context
 }
 
 func (c *Channel) pushPending(j pendingJob) {
@@ -337,6 +349,11 @@ type Delivery struct {
 	Probe sampling.ProbeResult
 	// At is when the block was published (queue-wait accounting).
 	At time.Time
+	// Anno is the block's frame annotation and TC its parsed trace
+	// context: consumers record queue/write spans against TC and hand Anno
+	// back to EncodeCached so a post-migration re-encode keeps the trace.
+	Anno []byte
+	TC   tracing.Context
 }
 
 // DeliverFunc enqueues one delivery. It must not block; returning false
@@ -457,6 +474,13 @@ func (c *Channel) classDelta(k classKey, d int) {
 // that differ only in placement produce byte-identical frames, so they
 // share one encode and are told apart only in delivery accounting.
 func (c *Channel) Publish(data []byte, seq uint64) {
+	c.PublishAnno(data, seq, nil)
+}
+
+// PublishAnno is Publish for a block carrying a frame annotation: anno is
+// stamped into every class's encoded frame and handed to consumers with
+// each delivery, so a publisher's trace context survives the broker hop.
+func (c *Channel) PublishAnno(data []byte, seq uint64, anno []byte) {
 	c.mu.Lock()
 	if len(c.members) == 0 {
 		c.mu.Unlock()
@@ -470,6 +494,10 @@ func (c *Channel) Publish(data []byte, seq uint64) {
 
 	probe := c.ProbeFor(data, seq)
 	at := time.Now()
+	var tc tracing.Context
+	if len(anno) > 0 {
+		tc = tracing.ParseAnno(anno)
+	}
 
 	c.pipeMu.Lock()
 	defer c.pipeMu.Unlock()
@@ -479,9 +507,9 @@ func (c *Channel) Publish(data []byte, seq uint64) {
 	for method, members := range classes {
 		c.pushPending(pendingJob{
 			seq: seq, method: method, members: members,
-			data: data, probe: probe, at: at,
+			data: data, probe: probe, at: at, anno: anno, tc: tc,
 		})
-		if err := c.pipe.SubmitMethod(data, method, seq); err != nil {
+		if err := c.pipe.SubmitMethodAnno(data, method, seq, anno, tc); err != nil {
 			c.popPendingTail()
 			c.p.errors.Inc()
 			c.p.logf("encplane: %s: submit %s: %v", c.name, method, err)
@@ -502,7 +530,7 @@ func (c *Channel) fanOut(f *Frame, job pendingJob, r core.BlockResult) {
 	var byPlacement [selector.NumPlacements]int64
 	for _, jm := range job.members {
 		f.Retain()
-		if jm.mb.deliver(Delivery{Frame: f, Data: job.data, Probe: job.probe, At: job.at}) {
+		if jm.mb.deliver(Delivery{Frame: f, Data: job.data, Probe: job.probe, At: job.at, Anno: job.anno, TC: job.tc}) {
 			delivered++
 			byPlacement[jm.placement]++
 		} else {
@@ -514,6 +542,20 @@ func (c *Channel) fanOut(f *Frame, job pendingJob, r core.BlockResult) {
 		if n > 0 {
 			c.p.placementDel[pl].Add(n)
 		}
+	}
+	if tr := c.p.tracer; tr != nil && job.tc.Valid() {
+		tr.Record(tracing.Span{
+			Trace:      job.tc.Trace,
+			Seq:        job.seq,
+			Stream:     "encplane",
+			Stage:      tracing.StageEncode,
+			Start:      time.Now().UnixNano() - r.CompressTime.Nanoseconds(),
+			Dur:        r.CompressTime.Nanoseconds(),
+			OriginWall: job.tc.WallNs,
+			Method:     f.info.Method.String(),
+			Class:      c.name + "/" + job.method.String(),
+			Bytes:      f.Len(),
+		})
 	}
 	if c.p.trace != nil {
 		c.p.trace.Add(obs.Record{
@@ -531,6 +573,7 @@ func (c *Channel) fanOut(f *Frame, job pendingJob, r core.BlockResult) {
 			Class:     c.name + "/" + job.method.String(),
 			ClassSubs: len(job.members),
 			Workers:   r.Workers,
+			Trace:     job.tc.Trace,
 		})
 	}
 	c.putCache(f) // transfers the creator reference
@@ -541,12 +584,30 @@ func (c *Channel) fanOut(f *Frame, job pendingJob, r core.BlockResult) {
 // reference. Resume replays and post-migration dequeues use this: however
 // many subscribers need the same (block, method) pair, it is encoded at most
 // once while the frame stays cached.
-func (c *Channel) EncodeCached(data []byte, seq uint64, m codec.Method) (*Frame, error) {
+func (c *Channel) EncodeCached(data []byte, seq uint64, m codec.Method, anno []byte) (*Frame, error) {
+	var tc tracing.Context
+	if len(anno) > 0 {
+		tc = tracing.ParseAnno(anno)
+	}
 	c.mu.Lock()
 	if f, ok := c.cache.get(seq, m); ok {
 		f.Retain()
 		c.mu.Unlock()
 		c.p.hits.Inc()
+		if tr := c.p.tracer; tr != nil && tc.Valid() {
+			tr.Record(tracing.Span{
+				Trace:      tc.Trace,
+				Seq:        seq,
+				Stream:     "encplane",
+				Stage:      tracing.StageEncode,
+				Start:      time.Now().UnixNano(),
+				OriginWall: tc.WallNs,
+				Method:     f.info.Method.String(),
+				Class:      c.name + "/" + m.String(),
+				CacheHit:   true,
+				Bytes:      f.Len(),
+			})
+		}
 		if c.p.trace != nil {
 			c.p.trace.Add(obs.Record{
 				Stream:   "encplane",
@@ -563,7 +624,7 @@ func (c *Channel) EncodeCached(data []byte, seq uint64, m codec.Method) (*Frame,
 
 	bufp := c.p.bufs.Get().(*[]byte)
 	start := time.Now()
-	frame, info, err := codec.AppendFrameSeq((*bufp)[:0], c.p.reg, m, data, seq)
+	frame, info, err := codec.AppendFrameOpts((*bufp)[:0], c.p.reg, m, data, codec.FrameOpts{Seq: seq, HasSeq: true, Anno: anno})
 	if err != nil {
 		c.p.bufs.Put(bufp)
 		c.p.errors.Inc()
@@ -574,6 +635,20 @@ func (c *Channel) EncodeCached(data []byte, seq uint64, m codec.Method) (*Frame,
 	c.p.misses.Inc()
 	c.p.encBytes.Add(int64(len(frame)))
 	c.p.encLat.ObserveDuration(time.Since(start))
+	if tr := c.p.tracer; tr != nil && tc.Valid() {
+		tr.Record(tracing.Span{
+			Trace:      tc.Trace,
+			Seq:        seq,
+			Stream:     "encplane",
+			Stage:      tracing.StageEncode,
+			Start:      start.UnixNano(),
+			Dur:        time.Since(start).Nanoseconds(),
+			OriginWall: tc.WallNs,
+			Method:     info.Method.String(),
+			Class:      c.name + "/" + m.String(),
+			Bytes:      len(frame),
+		})
+	}
 	f := c.newFrame(bufp, frame, seq, m, info)
 	f.Retain()    // the caller's reference
 	c.putCache(f) // transfers the creator reference

@@ -132,11 +132,11 @@ func TestEncodeCachedIdentityAndDedup(t *testing.T) {
 	data := bytes.Repeat([]byte("replay me "), 300)
 
 	for _, m := range allMethods {
-		f1, err := ch.EncodeCached(data, 42, m)
+		f1, err := ch.EncodeCached(data, 42, m, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		f2, err := ch.EncodeCached(data, 42, m)
+		f2, err := ch.EncodeCached(data, 42, m, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,14 +221,14 @@ func TestMemberSeqMonotonicThroughMigrations(t *testing.T) {
 func TestFrameRefcountGuards(t *testing.T) {
 	p, _ := newTestPlane(t, nil)
 	ch := p.Channel("md")
-	f, err := ch.EncodeCached([]byte("x"), 1, codec.None)
+	f, err := ch.EncodeCached([]byte("x"), 1, codec.None, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	f.Release() // caller ref gone; cache still holds one
 
 	// Pull the cached frame out and release past zero.
-	f2, err := ch.EncodeCached([]byte("x"), 1, codec.None)
+	f2, err := ch.EncodeCached([]byte("x"), 1, codec.None, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestFrameRefcountGuards(t *testing.T) {
 	// its own pristine zero-count frame.)
 	deadFrame := func(name string) *Frame {
 		ch := p.Channel(name)
-		g, err := ch.EncodeCached([]byte("y"), 1, codec.None)
+		g, err := ch.EncodeCached([]byte("y"), 1, codec.None, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

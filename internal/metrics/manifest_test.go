@@ -1,0 +1,167 @@
+package metrics_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"ccx/internal/broker"
+	"ccx/internal/codec"
+	"ccx/internal/core"
+	"ccx/internal/metrics"
+	"ccx/internal/selector"
+)
+
+var updateManifest = flag.Bool("update-manifest", false, "rewrite testdata/names.txt from the current metric surface")
+
+// Dynamic name segments collapse so the manifest stays stable across ids,
+// channel names, and whichever methods the adaptation loop happened to
+// pick during the scenario.
+var (
+	subSeg    = regexp.MustCompile(`\bsub\.\d+\.`)
+	chanSeg   = regexp.MustCompile(`\bchan\.[^.]+\.`)
+	methodSeg = regexp.MustCompile(`\bmethod\.[a-z-]+$`)
+	placeSeg  = regexp.MustCompile(`\bplacement\.[a-z]+$`)
+)
+
+func normalize(name string) string {
+	name = subSeg.ReplaceAllString(name, "sub.N.")
+	name = chanSeg.ReplaceAllString(name, "chan.C.")
+	name = methodSeg.ReplaceAllString(name, "method.M")
+	name = placeSeg.ReplaceAllString(name, "placement.P")
+	return name
+}
+
+// TestMetricNameManifest pins the Prometheus metric surface: it drives the
+// sender, receiver, broker, encode-plane, and runtime metric families into
+// one registry the way the daemons do, then compares every (kind, name)
+// pair against the committed manifest. A renamed or re-typed metric fails
+// here instead of silently breaking dashboards. Run with -update-manifest
+// after an intentional change.
+func TestMetricNameManifest(t *testing.T) {
+	reg := metrics.NewRegistry()
+
+	// Runtime family (the obs debug plane starts this sampler).
+	metrics.NewRuntimeSampler(reg).Sample()
+
+	// Sender and receiver families: one in-memory transfer with telemetry.
+	tel := core.Telemetry{Metrics: reg, Stream: "send"}
+	engine, err := core.NewEngine(core.Config{Selector: selector.DefaultConfig(), Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	w := core.NewWriter(&wire, engine, nil)
+	payload := bytes.Repeat([]byte("manifest manifest "), 64<<10/18)
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewReader(&wire, nil, nil)
+	r.SetTelemetry(core.Telemetry{Metrics: reg, Stream: "recv"})
+	if _, err := io.Copy(io.Discard, r); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+
+	// Broker, channel, subscriber, and encode-plane families: a broker
+	// serving one subscriber over an in-memory pipe.
+	b, err := broker.New(broker.Config{
+		Channels:  []string{"md"},
+		Heartbeat: -1,
+		Metrics:   reg,
+		Logf:      func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	defer client.Close()
+	b.HandleConn(server)
+	if err := broker.HandshakeSubscribe(client, "md"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Publish("md", []byte(fmt.Sprintf("block-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	fr := codec.NewFrameReader(client, nil)
+	for got := 0; got < 3; {
+		data, _, err := fr.ReadBlock()
+		if err != nil {
+			t.Fatalf("after %d blocks: %v", got, err)
+		}
+		if len(data) > 0 {
+			got++
+		}
+	}
+
+	seen := make(map[string]bool)
+	for _, v := range reg.Views() {
+		seen[fmt.Sprintf("%-9s %s", v.Kind, normalize(v.Name))] = true
+	}
+	lines := make([]string, 0, len(seen))
+	for l := range seen {
+		lines = append(lines, l)
+	}
+	sort.Strings(lines)
+	got := strings.Join(lines, "\n") + "\n"
+
+	path := filepath.Join("testdata", "names.txt")
+	if *updateManifest {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("manifest rewritten: %d names", len(lines))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing manifest (run go test ./internal/metrics -run Manifest -update-manifest): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metric surface changed; diff against %s:\n%s\n"+
+			"If intentional, update dashboards and run with -update-manifest.",
+			path, diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a minimal set-difference between two sorted manifests.
+func diffLines(want, got string) string {
+	w := strings.Split(strings.TrimSpace(want), "\n")
+	g := strings.Split(strings.TrimSpace(got), "\n")
+	ws, gs := make(map[string]bool), make(map[string]bool)
+	for _, l := range w {
+		ws[l] = true
+	}
+	for _, l := range g {
+		gs[l] = true
+	}
+	var sb strings.Builder
+	for _, l := range w {
+		if !gs[l] {
+			fmt.Fprintf(&sb, "- %s\n", l)
+		}
+	}
+	for _, l := range g {
+		if !ws[l] {
+			fmt.Fprintf(&sb, "+ %s\n", l)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"runtime"
+	"time"
+)
+
+// Go runtime health metrics, registered under the "go." prefix:
+//
+//	go.goroutines          gauge      live goroutine count
+//	go.gomaxprocs          gauge      scheduler parallelism
+//	go.heap_alloc_bytes    gauge      live heap (runtime.MemStats.HeapAlloc)
+//	go.heap_sys_bytes      gauge      heap reserved from the OS
+//	go.gc_cycles           gauge      completed GC cycles since start
+//	go.gc_pause_seconds    histogram  individual stop-the-world pauses
+//
+// They answer the operational questions the ccx-specific metrics cannot: is
+// a stalled pipeline actually a goroutine leak, is the encode pool's
+// buffer reuse holding heap flat, are GC pauses competing with the block
+// deadline. SampleRuntime is a point-in-time refresh; StartRuntimeSampler
+// runs it periodically (the obs debug plane starts one automatically).
+
+// GCPauseBuckets covers stop-the-world pauses: 10µs..100ms exponentially.
+var GCPauseBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+}
+
+// RuntimeSampler refreshes the "go." metric family in a Registry. It keeps
+// the last-seen GC cycle count so each stop-the-world pause is observed
+// exactly once, however often Sample runs.
+type RuntimeSampler struct {
+	goroutines *Gauge
+	gomaxprocs *Gauge
+	heapAlloc  *Gauge
+	heapSys    *Gauge
+	gcCycles   *Gauge
+	gcPause    *Histogram
+	lastNumGC  uint32
+}
+
+// NewRuntimeSampler registers the "go." metrics in reg and returns a
+// sampler; call Sample to refresh them.
+func NewRuntimeSampler(reg *Registry) *RuntimeSampler {
+	return &RuntimeSampler{
+		goroutines: reg.Gauge("go.goroutines"),
+		gomaxprocs: reg.Gauge("go.gomaxprocs"),
+		heapAlloc:  reg.Gauge("go.heap_alloc_bytes"),
+		heapSys:    reg.Gauge("go.heap_sys_bytes"),
+		gcCycles:   reg.Gauge("go.gc_cycles"),
+		gcPause:    reg.Histogram("go.gc_pause_seconds", GCPauseBuckets),
+	}
+}
+
+// Sample refreshes every "go." metric from the live runtime. ReadMemStats
+// stops the world briefly (microseconds); callers pick the cadence.
+func (s *RuntimeSampler) Sample() {
+	s.goroutines.Set(int64(runtime.NumGoroutine()))
+	s.gomaxprocs.Set(int64(runtime.GOMAXPROCS(0)))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.heapAlloc.Set(int64(ms.HeapAlloc))
+	s.heapSys.Set(int64(ms.HeapSys))
+	s.gcCycles.Set(int64(ms.NumGC))
+	// Each pause goes into the histogram once: PauseNs is a 256-entry ring
+	// indexed by cycle, so walk only the cycles since the previous Sample.
+	if n := ms.NumGC - s.lastNumGC; n > 0 {
+		if n > uint32(len(ms.PauseNs)) {
+			n = uint32(len(ms.PauseNs))
+		}
+		for i := ms.NumGC - n; i < ms.NumGC; i++ {
+			s.gcPause.Observe(float64(ms.PauseNs[i%uint32(len(ms.PauseNs))]) / 1e9)
+		}
+		s.lastNumGC = ms.NumGC
+	}
+}
+
+// StartRuntimeSampler samples the runtime into reg every interval
+// (defaulting to 5s when interval <= 0) until the returned stop function is
+// called. An initial sample runs synchronously so the metrics exist before
+// the first scrape.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	s := NewRuntimeSampler(reg)
+	s.Sample()
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.Sample()
+			}
+		}
+	}()
+	var once func()
+	closed := false
+	once = func() {
+		if !closed {
+			closed = true
+			close(done)
+		}
+	}
+	return once
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -12,6 +13,15 @@ import (
 	"ccx/internal/metrics"
 )
 
+// SpanDumper is the slice of internal/tracing the debug plane needs: a
+// JSONL dump of recent distributed-trace spans. Declared here (rather than
+// importing tracing) so obs stays a leaf that any package may depend on.
+// tracing.Ring implements it; its methods are nil-receiver-safe, so a
+// disabled tracer's nil ring can be passed straight through.
+type SpanDumper interface {
+	WriteJSONL(w io.Writer, max int) error
+}
+
 // Handler returns the debug plane as an http.Handler:
 //
 //	GET /metrics           Prometheus text exposition of reg
@@ -19,12 +29,14 @@ import (
 //	GET /debug/decisions   recent decision-trace records as a JSON array
 //	                       (?n=N caps the count, ?format=jsonl streams
 //	                       one object per line)
+//	GET /debug/spans       recent distributed-trace spans as JSONL
+//	                       (?n=N caps the count) — cmd/cctrace's feed
 //	GET /debug/pprof/...   the standard runtime profiles
 //	GET /                  a plain-text index of the above
 //
-// reg and log may each be nil; the corresponding endpoints then serve
-// empty documents, so one mux shape fits every daemon.
-func Handler(reg *metrics.Registry, log *DecisionLog) http.Handler {
+// reg, log, and spans may each be nil; the corresponding endpoints then
+// serve empty documents, so one mux shape fits every daemon.
+func Handler(reg *metrics.Registry, log *DecisionLog, spans SpanDumper) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -54,6 +66,14 @@ func Handler(reg *metrics.Registry, log *DecisionLog) http.Handler {
 		}
 		_ = json.NewEncoder(w).Encode(recs)
 	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if spans == nil {
+			return
+		}
+		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		_ = spans.WriteJSONL(w, n)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -69,6 +89,7 @@ func Handler(reg *metrics.Registry, log *DecisionLog) http.Handler {
 			"  /metrics          Prometheus text exposition\n"+
 			"  /debug/vars       JSON metrics snapshot\n"+
 			"  /debug/decisions  recent per-block selector decisions (?n=N, ?format=jsonl)\n"+
+			"  /debug/spans      recent distributed-trace spans as JSONL (?n=N)\n"+
 			"  /debug/pprof/     runtime profiles\n")
 	})
 	return mux
@@ -76,28 +97,42 @@ func Handler(reg *metrics.Registry, log *DecisionLog) http.Handler {
 
 // Server is a running debug HTTP listener.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln      net.Listener
+	srv     *http.Server
+	stopRun func()
 }
 
 // Serve starts the debug plane on addr (e.g. ":6060" or "127.0.0.1:0")
 // and serves it in the background until Close. The bound address is
 // available via Addr, so ":0" works in tests.
-func Serve(addr string, reg *metrics.Registry, log *DecisionLog) (*Server, error) {
+func Serve(addr string, reg *metrics.Registry, log *DecisionLog, spans SpanDumper) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listener: %w", err)
 	}
 	srv := &http.Server{
-		Handler:           Handler(reg, log),
+		Handler:           Handler(reg, log, spans),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() { _ = srv.Serve(ln) }()
-	return &Server{ln: ln, srv: srv}, nil
+	s := &Server{ln: ln, srv: srv}
+	if reg != nil {
+		// Anything serving the debug plane also reports its own runtime
+		// health (go.goroutines, go.heap_alloc_bytes, go.gc_pause_seconds…)
+		// without each daemon wiring a sampler.
+		s.stopRun = metrics.StartRuntimeSampler(reg, 0)
+	}
+	return s, nil
 }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops the listener and any in-flight handlers.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the listener, any in-flight handlers, and the runtime
+// metrics sampler.
+func (s *Server) Close() error {
+	if s.stopRun != nil {
+		s.stopRun()
+	}
+	return s.srv.Close()
+}

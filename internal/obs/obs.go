@@ -101,6 +101,11 @@ type Record struct {
 	// much slower than its neighbours).
 	Workers    int   `json:"workers,omitempty"`
 	PipeWaitNs int64 `json:"pipe_wait_ns,omitempty"`
+
+	// Trace joins this decision record with the distributed-trace span ring
+	// (/debug/spans): the trace id stamped into the block's frame
+	// annotation when the block was head-sampled, 0 otherwise.
+	Trace uint64 `json:"trace,omitempty"`
 }
 
 // DefaultLogSize is the decision ring's default capacity.

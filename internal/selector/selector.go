@@ -98,6 +98,11 @@ type Inputs struct {
 	// RatioPolicy ignores them).
 	Entropy    float64
 	Repetition float64
+	// ProbeTime is how long the sampling probe took (wall time on the
+	// probing goroutine). It never influences selection — it exists so the
+	// tracing layer can attribute probe cost on sampled blocks without a
+	// second timestamp plumbing path.
+	ProbeTime time.Duration
 }
 
 // LZReduceTime predicts how long Lempel-Ziv needs to reduce the block: the
@@ -127,6 +132,12 @@ type Decision struct {
 	// downstream hop owns compression under Placement; Method is then None
 	// regardless of what the method selector would have chosen.
 	Offloaded bool
+	// Trace links the decision to its distributed-trace spans: the trace id
+	// stamped into the block's frame annotation when the block was head-
+	// sampled, 0 otherwise. The selector itself never sets or reads it —
+	// the engine fills it in so the decision ring and the span ring can be
+	// joined on (trace, block).
+	Trace uint64
 }
 
 // Reason summarizes in one line why the decision came out the way it did,

@@ -1,0 +1,339 @@
+package tracing
+
+import (
+	"sort"
+)
+
+// Trace is one block's stitched, skew-corrected life across hops.
+type Trace struct {
+	ID uint64
+	// Spans hold corrected Start values (the per-hop offset from
+	// Report.Offsets already subtracted), sorted by Start.
+	Spans []Span
+	// Hops lists the distinct hops that recorded spans, in causal
+	// (corrected first-span) order.
+	Hops []string
+}
+
+// Start and End bound the corrected trace; Duration is the end-to-end
+// latency the critical-path attribution must sum to.
+func (t *Trace) Start() int64 {
+	if len(t.Spans) == 0 {
+		return 0
+	}
+	return t.Spans[0].Start
+}
+
+func (t *Trace) End() int64 {
+	var end int64
+	for _, s := range t.Spans {
+		if e := s.Start + s.Dur; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+func (t *Trace) Duration() int64 { return t.End() - t.Start() }
+
+// Complete reports whether the trace saw at least minHops distinct hops —
+// the smoke test's "publisher → broker → receiver" assertion is
+// Complete(3).
+func (t *Trace) Complete(minHops int) bool { return len(t.Hops) >= minHops }
+
+// Placement returns the publisher-side placement decision recorded on the
+// trace ("" when no span carried one).
+func (t *Trace) Placement() string {
+	for _, s := range t.Spans {
+		if s.Placement != "" {
+			return s.Placement
+		}
+	}
+	return ""
+}
+
+// StageCost is one row of a critical-path attribution: time assigned to a
+// (hop, stage) pair. The pseudo-stages "wire" (uncovered time between two
+// hops' spans, attributed to the arriving hop) and "idle" (uncovered time
+// within one hop) complete the partition, so a trace's rows sum exactly to
+// its Duration.
+type StageCost struct {
+	Hop   string `json:"hop"`
+	Stage string `json:"stage"`
+	Ns    int64  `json:"ns"`
+}
+
+// StageWire and StageIdle are the attribution-only pseudo-stages.
+const (
+	StageWire = "wire"
+	StageIdle = "idle"
+)
+
+// Attribution partitions the trace's end-to-end duration across
+// (hop, stage) rows by an innermost-span sweep: every instant between
+// Start and End is charged to the latest-started span covering it; time
+// covered by no span is charged to "wire" on the next hop when the
+// surrounding spans belong to different hops, else to "idle" on the
+// current hop. Rows are returned largest first and sum exactly to
+// Duration().
+func (t *Trace) Attribution() []StageCost {
+	if len(t.Spans) == 0 {
+		return nil
+	}
+	// Elementary intervals between consecutive span boundaries.
+	cuts := make([]int64, 0, 2*len(t.Spans))
+	for _, s := range t.Spans {
+		cuts = append(cuts, s.Start, s.Start+s.Dur)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	type key struct{ hop, stage string }
+	acc := make(map[key]int64)
+	for i := 0; i+1 < len(cuts); i++ {
+		a, b := cuts[i], cuts[i+1]
+		if a >= b {
+			continue
+		}
+		// Innermost covering span: the one that started last.
+		var cover *Span
+		for j := range t.Spans {
+			s := &t.Spans[j]
+			if s.Start <= a && b <= s.Start+s.Dur && s.Dur > 0 {
+				if cover == nil || s.Start >= cover.Start {
+					cover = s
+				}
+			}
+		}
+		if cover != nil {
+			acc[key{cover.Hop, cover.Stage}] += b - a
+			continue
+		}
+		// Uncovered: wire when the gap crosses hops, idle otherwise.
+		prev, next := t.neighbor(a, -1), t.neighbor(b, +1)
+		switch {
+		case prev != nil && next != nil && prev.Hop != next.Hop:
+			acc[key{next.Hop, StageWire}] += b - a
+		case next != nil:
+			acc[key{next.Hop, StageIdle}] += b - a
+		case prev != nil:
+			acc[key{prev.Hop, StageIdle}] += b - a
+		}
+	}
+	out := make([]StageCost, 0, len(acc))
+	for k, ns := range acc {
+		out = append(out, StageCost{Hop: k.hop, Stage: k.stage, Ns: ns})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ns != out[j].Ns {
+			return out[i].Ns > out[j].Ns
+		}
+		return out[i].Hop+out[i].Stage < out[j].Hop+out[j].Stage
+	})
+	return out
+}
+
+// neighbor finds the span ending at or before ts (dir<0) or starting at or
+// after ts (dir>0) that is closest to it.
+func (t *Trace) neighbor(ts int64, dir int) *Span {
+	var best *Span
+	for j := range t.Spans {
+		s := &t.Spans[j]
+		if dir < 0 {
+			if e := s.Start + s.Dur; e <= ts && (best == nil || e > best.Start+best.Dur) {
+				best = s
+			}
+		} else {
+			if s.Start >= ts && (best == nil || s.Start < best.Start) {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// Report is the result of stitching span dumps from N hops.
+type Report struct {
+	// Traces are the stitched traces, oldest first.
+	Traces []*Trace
+	// Origin is the hop that stamped trace contexts (the one recording
+	// "stamp" spans).
+	Origin string
+	// Offsets records the per-hop clock correction (nanoseconds
+	// subtracted from that hop's Start values). The correction pins each
+	// hop's fastest observed origin→hop latency at zero — a one-way-delay
+	// floor, since without a synchronized clock or an RTT estimate the
+	// propagation delay and the clock skew are indistinguishable.
+	Offsets map[string]int64
+	// Anomalies are the always-on spans (resync, gap, dup, migrate,
+	// resume, corrupt decodes) across all hops, including those with no
+	// trace id.
+	Anomalies []Span
+}
+
+// Complete filters to traces that saw at least minHops distinct hops.
+func (r *Report) Complete(minHops int) []*Trace {
+	var out []*Trace
+	for _, t := range r.Traces {
+		if t.Complete(minHops) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Stitch groups spans by trace id, computes per-hop clock-skew
+// corrections, and returns the corrected traces plus the anomaly roll-up.
+// Spans may come from any number of hop dumps in any order.
+func Stitch(spans []Span) *Report {
+	r := &Report{Offsets: make(map[string]int64)}
+	byTrace := make(map[uint64][]Span)
+	for _, s := range spans {
+		if s.Anomaly {
+			r.Anomalies = append(r.Anomalies, s)
+		}
+		if s.Trace != 0 {
+			byTrace[s.Trace] = append(byTrace[s.Trace], s)
+		}
+	}
+
+	// The origin hop is the one stamping contexts.
+	originVotes := make(map[string]int)
+	for _, ss := range byTrace {
+		for _, s := range ss {
+			if s.Stage == StageStamp {
+				originVotes[s.Hop]++
+			}
+		}
+	}
+	for hop, n := range originVotes {
+		if n > originVotes[r.Origin] || r.Origin == "" {
+			r.Origin = hop
+		}
+	}
+
+	// Causal hop ordering. Clocks are not comparable before correction,
+	// so raw timestamps cannot order hops; the stage mix can. The origin
+	// stamps; any other hop that records write spans forwards frames (the
+	// broker); hops that only receive are terminal. That matches every
+	// topology this system builds (publisher → broker* → receiver).
+	tier := func(hop string, writes map[string]bool) int {
+		switch {
+		case hop == r.Origin:
+			return 0
+		case writes[hop]:
+			return 1
+		default:
+			return 2
+		}
+	}
+	writes := make(map[string]bool)
+	allHops := make(map[string]bool)
+	for _, ss := range byTrace {
+		for _, s := range ss {
+			allHops[s.Hop] = true
+			if s.Stage == StageWrite {
+				writes[s.Hop] = true
+			}
+		}
+	}
+	hopOrder := make([]string, 0, len(allHops))
+	for hop := range allHops {
+		hopOrder = append(hopOrder, hop)
+	}
+	sort.Slice(hopOrder, func(i, j int) bool {
+		ti, tj := tier(hopOrder[i], writes), tier(hopOrder[j], writes)
+		if ti != tj {
+			return ti < tj
+		}
+		return hopOrder[i] < hopOrder[j]
+	})
+
+	// Chain skew correction in causal order: each hop's offset is the
+	// minimum over traces of (hop's first span start − the latest
+	// corrected end among upstream hops in that trace). Subtracting it
+	// pins the hop's fastest observed hand-off gap at zero — the one-way-
+	// delay floor; see Report.Offsets.
+	offsets := make(map[string]int64)
+	for i, hop := range hopOrder {
+		if i == 0 {
+			offsets[hop] = 0
+			continue
+		}
+		upstream := hopOrder[:i]
+		best, seen := int64(0), false
+		for _, ss := range byTrace {
+			var first int64
+			var hasFirst bool
+			var prevEnd int64
+			var hasPrev bool
+			for _, s := range ss {
+				if s.Hop == hop {
+					if !hasFirst || s.Start < first {
+						first, hasFirst = s.Start, true
+					}
+					continue
+				}
+				for _, up := range upstream {
+					if s.Hop == up {
+						if e := s.Start - offsets[up] + s.Dur; !hasPrev || e > prevEnd {
+							prevEnd, hasPrev = e, true
+						}
+					}
+				}
+			}
+			if hasFirst && hasPrev {
+				if d := first - prevEnd; !seen || d < best {
+					best, seen = d, true
+				}
+			}
+		}
+		if seen {
+			offsets[hop] = best
+		} else {
+			offsets[hop] = 0
+		}
+	}
+	r.Offsets = offsets
+
+	ids := make([]uint64, 0, len(byTrace))
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		ss := byTrace[id]
+		for i := range ss {
+			if off, ok := offsets[ss[i].Hop]; ok && ss[i].Hop != r.Origin {
+				ss[i].Start -= off
+			}
+		}
+		sort.SliceStable(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start })
+		t := &Trace{ID: id, Spans: ss}
+		hopSeen := make(map[string]bool)
+		for _, s := range ss {
+			if !hopSeen[s.Hop] {
+				hopSeen[s.Hop] = true
+				t.Hops = append(t.Hops, s.Hop)
+			}
+		}
+		r.Traces = append(r.Traces, t)
+	}
+	sort.Slice(r.Traces, func(i, j int) bool { return r.Traces[i].Start() < r.Traces[j].Start() })
+	return r
+}
+
+// Percentile returns the p-th percentile (0..100, nearest-rank) of ns
+// durations; 0 for an empty slice.
+func Percentile(durs []int64, p float64) int64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,141 @@
+package tracing
+
+import (
+	"os"
+	"testing"
+)
+
+func readFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// synthetic three-hop trace: publisher at wall 1000, broker clock running
+// 5000ns ahead, receiver 9000ns ahead. True one-way delay pub→broker is
+// 100ns on the fastest block, broker→recv 200ns.
+func threeHopSpans() []Span {
+	mk := func(hop, stage string, trace uint64, start, dur int64) Span {
+		return Span{Trace: trace, Hop: hop, Stage: stage, Start: start, Dur: dur}
+	}
+	var spans []Span
+	for i := int64(0); i < 4; i++ {
+		id := uint64(i + 1)
+		base := 1000 + i*10_000
+		jitter := i * 50 // later blocks see more queueing, so the min-gap floor comes from block 0
+		spans = append(spans,
+			mk("pub", StageStamp, id, base, 0),
+			mk("pub", StageProbe, id, base, 30),
+			mk("pub", StageEncode, id, base+30, 400),
+			mk("pub", StageWrite, id, base+430, 70),
+			// broker clock = true + 5000; arrives 100ns after pub write end.
+			mk("broker", StageDecode, id, base+500+100+jitter+5000, 60),
+			mk("broker", StageQueue, id, base+660+jitter+5000, 300),
+			mk("broker", StageWrite, id, base+960+jitter+5000, 40),
+			// recv clock = true + 9000; arrives 200ns after broker write end.
+			mk("recv", StageDecode, id, base+1000+jitter+200+9000, 150),
+		)
+	}
+	return spans
+}
+
+func TestStitchSkewCorrection(t *testing.T) {
+	r := Stitch(threeHopSpans())
+	if r.Origin != "pub" {
+		t.Fatalf("origin: got %q want pub", r.Origin)
+	}
+	if len(r.Traces) != 4 {
+		t.Fatalf("traces: got %d want 4", len(r.Traces))
+	}
+	// The broker's fastest first-span gap vs the publisher's corrected
+	// write end is 100 (true delay) + 5000 (skew); the chain correction
+	// absorbs both, pinning the floor block's hand-off gap at zero.
+	if off := r.Offsets["broker"]; off != 5100 {
+		t.Fatalf("broker offset: got %d want 5100", off)
+	}
+	// recv corrects against the broker's corrected write end
+	// (base+900): gap = 200 (true) + 100 (queue floor error) + 9000.
+	if off := r.Offsets["recv"]; off != 9300 {
+		t.Fatalf("recv offset: got %d want 9300", off)
+	}
+	for _, tr := range r.Complete(3) {
+		if got := tr.Hops; len(got) != 3 || got[0] != "pub" || got[2] != "recv" {
+			t.Fatalf("hop order: %v", got)
+		}
+		// Corrected spans must be causally ordered: no downstream span
+		// before the trace epoch.
+		for _, s := range tr.Spans {
+			if s.Start < tr.Start() {
+				t.Fatalf("span before trace start after correction: %+v", s)
+			}
+		}
+	}
+	if len(r.Complete(3)) != 4 {
+		t.Fatalf("complete(3): got %d want 4", len(r.Complete(3)))
+	}
+}
+
+// Attribution must partition the end-to-end duration exactly: the sum of
+// all (hop, stage) rows — wire and idle pseudo-stages included — equals
+// Duration(). This is the acceptance criterion's "percentages sum to the
+// measured end-to-end latency".
+func TestAttributionSumsToDuration(t *testing.T) {
+	r := Stitch(threeHopSpans())
+	for _, tr := range r.Traces {
+		var sum int64
+		rows := tr.Attribution()
+		for _, row := range rows {
+			sum += row.Ns
+			if row.Ns < 0 {
+				t.Fatalf("negative attribution row: %+v", row)
+			}
+		}
+		if sum != tr.Duration() {
+			t.Fatalf("trace %d: attribution sums to %d, duration %d (rows %+v)",
+				tr.ID, sum, tr.Duration(), rows)
+		}
+	}
+	// The fastest block's wire rows exist and the broker queue dominates
+	// where expected.
+	tr := r.Traces[0]
+	byStage := map[string]int64{}
+	for _, row := range tr.Attribution() {
+		byStage[row.Stage] += row.Ns
+	}
+	if byStage[StageEncode] != 400 || byStage[StageQueue] != 300 {
+		t.Fatalf("stage totals off: %+v", byStage)
+	}
+}
+
+func TestStitchAnomalies(t *testing.T) {
+	spans := threeHopSpans()
+	spans = append(spans, Span{Trace: 0, Hop: "recv", Stage: StageResync, Anomaly: true, Dur: 10})
+	spans = append(spans, Span{Trace: 1, Hop: "recv", Stage: StageGap, Anomaly: true})
+	r := Stitch(spans)
+	if len(r.Anomalies) != 2 {
+		t.Fatalf("anomalies: got %d want 2", len(r.Anomalies))
+	}
+	// The trace-linked anomaly also joins its trace.
+	for _, tr := range r.Traces {
+		if tr.ID == 1 {
+			found := false
+			for _, s := range tr.Spans {
+				if s.Stage == StageGap {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatal("trace-linked anomaly span missing from trace")
+			}
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	durs := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if p := Percentile(durs, 50); p != 50 {
+		t.Fatalf("p50: got %d", p)
+	}
+	if p := Percentile(durs, 99); p != 100 {
+		t.Fatalf("p99: got %d", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Fatalf("empty: got %d", p)
+	}
+}

@@ -1,0 +1,215 @@
+// Package tracing is the cross-hop, per-block distributed trace for ccx
+// streams. The publisher stamps a compact trace context (trace id + origin
+// wall/monotonic timestamps) into a frame v4 annotation for a head-sampled
+// subset of blocks; every hop that handles an annotated block appends local
+// span records — probe, decide, encode, queue wait, write, decode — to a
+// lock-free ring modeled on the obs decision ring, exported as JSONL over
+// the debug HTTP plane (/debug/spans) and optionally to a file. Anomalies
+// (corrupt frames, resyncs, gaps, migrations, resumes) are recorded
+// regardless of the sampling decision so the rare events that motivate
+// tracing are never lost. cmd/cctrace stitches dumps from N hops into
+// per-block waterfalls with critical-path attribution (see stitch.go).
+package tracing
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync/atomic"
+)
+
+// Span stage names. A span is one timed interval of one block's life on one
+// hop; stages are coarse on purpose — they are the rows of the cctrace
+// critical-path table.
+const (
+	// StageStamp marks trace-context creation at the origin hop. Its start
+	// time is the trace's epoch; duration is zero.
+	StageStamp = "stamp"
+	// StageProbe is the sampling probe (paper §2.5): compressing the probe
+	// prefix to estimate ratio and reducing speed.
+	StageProbe = "probe"
+	// StageDecide is selector evaluation — probe join wait included on the
+	// pipelined path.
+	StageDecide = "decide"
+	// StageEncode is payload compression plus frame construction.
+	StageEncode = "encode"
+	// StagePipeWait is time a finished encode waited for the in-order
+	// emission sequencer (pipeline head-of-line wait).
+	StagePipeWait = "pipe-wait"
+	// StageQueue is time a frame waited in a broker subscriber queue
+	// between fan-out and dequeue.
+	StageQueue = "queue"
+	// StageWrite is the blocking socket write of the encoded frame.
+	StageWrite = "write"
+	// StageDecode is frame decode + payload decompression at a receiving
+	// hop (the broker ingesting a publisher frame, or the final receiver).
+	StageDecode = "decode"
+	// StageResync is corrupt-frame recovery: scanning the stream for the
+	// next plausible boundary. Always recorded (anomaly).
+	StageResync = "resync"
+	// StageGap is a delivery-tracker gap observation: seq jumped forward.
+	// Always recorded (anomaly).
+	StageGap = "gap"
+	// StageDup is a delivery-tracker duplicate suppression. Always
+	// recorded (anomaly).
+	StageDup = "dup"
+	// StageMigrate is a subscriber's class migration on the broker (the
+	// adaptation loop changed method or placement). Always recorded.
+	StageMigrate = "migrate"
+	// StageResume is a RESUME handshake replaying a subscriber's tail.
+	// Always recorded (anomaly).
+	StageResume = "resume"
+)
+
+// Span is one record in a hop's span ring: a stage of one block's life,
+// timed on the local clock. JSON field names are the /debug/spans and
+// spans.jsonl wire format consumed by cmd/cctrace.
+type Span struct {
+	// Trace links spans across hops; 0 marks an always-on anomaly span for
+	// a block whose trace context was absent or unsampled.
+	Trace uint64 `json:"trace"`
+	// Seq is the block sequence at this hop (publisher block index + 1, or
+	// the broker channel sequence); 0 when unknown.
+	Seq uint64 `json:"seq,omitempty"`
+	// Hop names the recording process ("pub", "broker", "recv", or as
+	// configured); Stream narrows it to a flow within the process (e.g. a
+	// broker subscriber id).
+	Hop    string `json:"hop"`
+	Stream string `json:"stream,omitempty"`
+	Stage  string `json:"stage"`
+	// Start is local wall-clock Unix nanoseconds; Dur the span length.
+	// Clocks are NOT assumed synchronized across hops — cctrace
+	// skew-corrects at stitch time.
+	Start int64 `json:"start_ns"`
+	Dur   int64 `json:"dur_ns"`
+	// OriginWall echoes the trace context's origin wall clock on remote
+	// hops, so a two-file stitch still has the trace epoch when the origin
+	// hop's dump is missing.
+	OriginWall int64  `json:"origin_wall_ns,omitempty"`
+	Method     string `json:"method,omitempty"`
+	Placement  string `json:"placement,omitempty"`
+	// Class is the encode-plane class key and CacheHit whether the frame
+	// came from the (seq, method) frame cache rather than a fresh encode.
+	Class    string `json:"class,omitempty"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	// Bytes is the wire size relevant to the stage (frame bytes for
+	// encode/write, compressed payload for decode).
+	Bytes int    `json:"bytes,omitempty"`
+	Err   string `json:"err,omitempty"`
+	// Anomaly marks spans recorded outside the head sampling decision.
+	Anomaly bool `json:"anomaly,omitempty"`
+}
+
+// Ring is a bounded, lock-free span buffer, same design as the obs
+// decision ring: writers atomically claim a slot index and publish a
+// pointer; readers snapshot without blocking writers. Overwrites under
+// wrap or torn reads lose individual spans, never corrupt them.
+type Ring struct {
+	slots []atomic.Pointer[ringSlot]
+	next  atomic.Uint64
+	mask  uint64
+}
+
+type ringSlot struct {
+	seq  uint64
+	span Span
+}
+
+// NewRing returns a ring holding the most recent size spans (rounded up to
+// a power of two, minimum 16).
+func NewRing(size int) *Ring {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[ringSlot], n), mask: uint64(n - 1)}
+}
+
+// Add appends one span. Safe for any number of concurrent writers; the
+// nil ring drops it.
+func (r *Ring) Add(s Span) {
+	if r == nil {
+		return
+	}
+	seq := r.next.Add(1) - 1
+	r.slots[seq&r.mask].Store(&ringSlot{seq: seq, span: s})
+}
+
+// Len reports how many spans have ever been added (not how many are
+// retained).
+func (r *Ring) Len() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Recent returns up to max of the newest spans, oldest first. Slots being
+// overwritten mid-snapshot are skipped: only records whose claimed sequence
+// matches the expected one survive.
+func (r *Ring) Recent(max int) []Span {
+	if r == nil {
+		return nil
+	}
+	if max <= 0 || max > len(r.slots) {
+		max = len(r.slots)
+	}
+	end := r.next.Load()
+	start := uint64(0)
+	if end > uint64(max) {
+		start = end - uint64(max)
+	}
+	out := make([]Span, 0, end-start)
+	for seq := start; seq < end; seq++ {
+		if slot := r.slots[seq&r.mask].Load(); slot != nil && slot.seq == seq {
+			out = append(out, slot.span)
+		}
+	}
+	return out
+}
+
+// WriteJSONL streams up to max recent spans as JSON Lines, oldest first —
+// the /debug/spans format cmd/cctrace consumes.
+func (r *Ring) WriteJSONL(w io.Writer, max int) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range r.Recent(max) {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL span dump (the inverse of WriteJSONL). Blank
+// lines are skipped. A malformed *final* line is tolerated — a hop killed
+// mid-write (crash, SIGKILL, fatal SIGPIPE) always tears the buffered tail
+// of its -trace-out file, and a post-mortem must still stitch the spans
+// that made it to disk. A malformed line anywhere else is real corruption
+// and aborts with its error.
+func ReadJSONL(rd io.Reader) ([]Span, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	var out []Span
+	var pendErr error // malformed line, fatal unless it proves to be last
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if pendErr != nil {
+			return out, pendErr
+		}
+		var s Span
+		if err := json.Unmarshal(line, &s); err != nil {
+			pendErr = err
+			continue
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}

@@ -55,7 +55,7 @@ func TestDebugPlaneEndToEnd(t *testing.T) {
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- b.Serve(ln) }()
 
-	dbg, err := obs.Serve("127.0.0.1:0", met, trace)
+	dbg, err := obs.Serve("127.0.0.1:0", met, trace, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
