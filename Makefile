@@ -3,8 +3,11 @@ SHA     := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 BENCH_OUT ?= BENCH_$(SHA).json
 SWARM_OUT ?= swarm.json
 SWARM_SUBS ?= 1000
+SOAK_SUBS ?= 1000
+SOAK_OUT ?= soak-metrics.jsonl
+SOAK_GOMEMLIMIT ?= 512MiB
 
-.PHONY: all build test race vet bench bench-baseline swarm breakeven clean
+.PHONY: all build test race vet bench bench-baseline swarm breakeven soak clean
 
 all: build test
 
@@ -42,6 +45,15 @@ swarm:
 		-profiles gigabit,fast100 -interval 25ms -min-dedup 10 \
 		-placement broker -json $(SWARM_OUT)
 
+# soak drives the overload-governor acceptance soak under -race: SOAK_SUBS
+# stalled subscribers push a memory-capped broker (GOMEMLIMIT set) past its
+# byte budget; it must refuse admission, degrade the method ladder, shed in
+# bounded steps, stay under the cap, and fully recover with zero leaks. The
+# final governor metrics snapshot lands in $(SOAK_OUT).
+soak:
+	GOMEMLIMIT=$(SOAK_GOMEMLIMIT) CCX_SOAK_SUBS=$(SOAK_SUBS) CCX_METRICS_OUT=$(SOAK_OUT) \
+		$(GO) test -race -count=1 -run TestSoakOverloadGovernor -v ./internal/broker/
+
 # breakeven regenerates the placement break-even sweep (EXPERIMENTS.md
 # "Compression placement break-even") and its JSON artifact.
 breakeven:
@@ -49,4 +61,4 @@ breakeven:
 		$(GO) test -run TestPlacementBreakEven -count=1 ./tests/
 
 clean:
-	rm -f BENCH_*.json swarm.json breakeven.json
+	rm -f BENCH_*.json swarm.json breakeven.json soak-metrics.jsonl

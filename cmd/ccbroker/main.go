@@ -49,6 +49,7 @@ import (
 
 	"ccx/internal/broker"
 	"ccx/internal/faultnet"
+	"ccx/internal/governor"
 	"ccx/internal/metrics"
 	"ccx/internal/obs"
 	"ccx/internal/selector"
@@ -89,6 +90,13 @@ func run(args []string, stop chan struct{}) error {
 		trOut    = fs.String("trace-out", "", "append spans as JSONL to this file (cctrace's input)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		fault    = fs.String("fault", "", `inject faults on every accepted connection for chaos testing, e.g. "flip=65536,seed=7" (see internal/faultnet)`)
+		govern   = fs.Bool("governor", false, "enable the overload governor: sample memory/CPU pressure, degrade compression, shed load, and refuse new subscribers under critical memory pressure (implied by the -mem-budget/-bytes-budget/-governor-interval flags)")
+		memBudg  = fs.Int64("mem-budget", 0, "governor heap budget in bytes (0 = inherit GOMEMLIMIT, negative = disable the heap dimension)")
+		byteBudg = fs.Int64("bytes-budget", 0, "governor budget for aggregate queued+cached bytes — subscriber queues, replay rings, frame cache (0 = default)")
+		govIntvl = fs.Duration("governor-interval", 0, "governor sampling interval (0 = default)")
+		brkWait  = fs.Duration("breaker-wait", 0, "slow-subscriber circuit breaker: evict a subscriber whose queue wait stays over this for -breaker-window (0 disables)")
+		brkWin   = fs.Duration("breaker-window", 0, "how long queue wait must stay over -breaker-wait before the breaker trips (0 = default)")
+		rAfter   = fs.Duration("retry-after", 0, "retry delay suggested to subscribers refused by governor admission control (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,6 +152,16 @@ func run(args []string, stop chan struct{}) error {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "ccbroker: "+format+"\n", args...)
 		},
+	}
+	cfg.BreakerWait = *brkWait
+	cfg.BreakerWindow = *brkWin
+	cfg.RetryAfter = *rAfter
+	if *govern || *memBudg != 0 || *byteBudg != 0 || *govIntvl > 0 {
+		cfg.Governor = &governor.Config{
+			MemBudget:   *memBudg,
+			BytesBudget: *byteBudg,
+			Interval:    *govIntvl,
+		}
 	}
 	cfg.Engine.Selector = selector.DefaultConfig()
 	cfg.Engine.Selector.BlockSize = *block

@@ -229,7 +229,10 @@ type subOpts struct {
 // resume from the last delivered sequence and replayed duplicates are
 // suppressed — exactly-once delivery across the whole session.
 func subscribeLoop(dst io.Writer, stats *recvStats, o subOpts) error {
-	bo := netutil.Backoff{Min: netutil.DefaultBackoffMin, Max: 5 * time.Second}
+	// Full jitter decorrelates the reconnect storm after a broker sheds a
+	// crowd of subscribers at once — without it every victim redials on the
+	// same schedule and re-creates the overload it was evicted to relieve.
+	bo := netutil.Backoff{Min: netutil.DefaultBackoffMin, Max: 5 * time.Second, Jitter: true}
 	retries := 0
 	for {
 		before := stats.blocks
@@ -245,6 +248,12 @@ func subscribeLoop(dst io.Writer, stats *recvStats, o subOpts) error {
 			return err
 		}
 		retries++
+		// An overloaded broker's RETRY-AFTER reply knows its recovery
+		// horizon better than our schedule: honor it verbatim.
+		var ov *broker.OverloadError
+		if errors.As(err, &ov) && ov.RetryAfter > 0 {
+			bo.SetRetryAfter(ov.RetryAfter)
+		}
 		d := bo.Next()
 		fmt.Fprintf(os.Stderr, "ccrecv: %v; reconnecting in %v (%d/%d)\n", err, d, retries, o.reconnect)
 		time.Sleep(d)
@@ -347,6 +356,16 @@ func receive(conn net.Conn, dst io.Writer, stats *recvStats, readTimeout time.Du
 		}
 	})
 	r.SetTelemetry(tel)
+	// A broker evicting this subscriber (overload shedding, breaker trip)
+	// writes a close-reason control frame before severing the conn; surface
+	// it as a typed error so the reconnect loop can say why and back off,
+	// instead of reporting a generic read error.
+	r.SetCloseHandler(func(anno []byte) error {
+		if reason, msg, ok := codec.ParseCloseAnno(anno); ok {
+			return &broker.EvictedError{Reason: reason, Msg: msg}
+		}
+		return nil // unknown control frame: treat as heartbeat
+	})
 	if track != nil {
 		r.SetDeliveryTracker(track)
 	}

@@ -126,6 +126,23 @@ func renderLine(now time.Time, prev, cur map[string]float64, dt time.Duration) s
 	if subs, ok := cur["broker.subscribers"]; ok {
 		seg = append(seg, fmt.Sprintf("subs %.0f", subs))
 	}
+	// Overload governor: the current pressure level, plus the interval's
+	// degradation activity (demoted blocks, shed subscribes/evictions,
+	// breaker trips) when any occurred. Only endpoints running a governor
+	// expose governor.samples, so the segment vanishes elsewhere.
+	if _, ok := cur["governor.samples"]; ok {
+		seg = append(seg, fmt.Sprintf("prs %s", pressureName(cur["governor.level"])))
+		for _, c := range [...]struct{ key, label string }{
+			{"governor.demoted_blocks", "dem"},
+			{"governor.shed_subscribes", "refused"},
+			{"governor.shed_evictions", "shed"},
+			{"governor.breaker_trips", "brk"},
+		} {
+			if d := delta(c.key); d > 0 {
+				seg = append(seg, fmt.Sprintf("%s %.0f", c.label, d))
+			}
+		}
+	}
 	// Runtime health: goroutine count (leak canary), from the obs plane's
 	// built-in runtime sampler.
 	if gor, ok := cur["go.goroutines"]; ok {
@@ -230,6 +247,19 @@ func placementMix(prev, cur map[string]float64) string {
 		return "plc[" + strings.Join(parts, " ") + "]"
 	}
 	return ""
+}
+
+// pressureName maps the governor.level gauge to the short operator name.
+func pressureName(level float64) string {
+	switch level {
+	case 0:
+		return "ok"
+	case 1:
+		return "elev"
+	case 2:
+		return "crit"
+	}
+	return fmt.Sprintf("lvl%d", int(level))
 }
 
 // rate renders bytes-per-interval as a human bytes/s figure.

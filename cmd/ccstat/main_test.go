@@ -35,6 +35,10 @@ func TestFetchAndRender(t *testing.T) {
 	misses := reg.Counter("encplane.cache_misses")
 	reg.Gauge("chan.md.classes").Set(2)
 	reg.Gauge("chan.audit.classes").Set(1)
+	reg.Counter("governor.samples").Inc()
+	reg.Gauge("governor.level").Set(1)
+	demoted := reg.Counter("governor.demoted_blocks")
+	shed := reg.Counter("governor.shed_evictions")
 
 	prev, err := fetchVars(client, url)
 	if err != nil {
@@ -54,6 +58,8 @@ func TestFetchAndRender(t *testing.T) {
 	deliveries.Add(12)
 	hits.Add(3)
 	misses.Add(1)
+	demoted.Add(5)
+	shed.Add(2)
 	cur, err := fetchVars(client, url)
 	if err != nil {
 		t.Fatal(err)
@@ -64,6 +70,7 @@ func TestFetchAndRender(t *testing.T) {
 	for _, want := range []string{
 		"blk    11 (11.0/s)", "[lz=10 none=1]", "subs 3",
 		"cls 3", "dedup 3.0x", "hit 75%",
+		"prs elev", "dem 5", "shed 2",
 	} {
 		if !strings.Contains(line, want) {
 			t.Errorf("line %q missing %q", line, want)

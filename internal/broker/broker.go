@@ -39,14 +39,17 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ccx/internal/codec"
 	"ccx/internal/core"
 	"ccx/internal/echo"
 	"ccx/internal/encplane"
+	"ccx/internal/governor"
 	"ccx/internal/metrics"
 	"ccx/internal/netutil"
 	"ccx/internal/obs"
@@ -99,6 +102,15 @@ const (
 	// replay is disabled entirely.
 	DefaultReplayBlocks = 256
 	DefaultReplayBytes  = 8 << 20
+	// DefaultRetryAfter is the retry delay suggested to subscribers refused
+	// by overload admission control.
+	DefaultRetryAfter = time.Second
+	// DefaultBreakerWindow is how long a subscriber's queue wait must stay
+	// over BreakerWait before the circuit breaker trips.
+	DefaultBreakerWindow = time.Second
+	// closeFrameTimeout bounds the best-effort write of the explicit
+	// close-reason frame toward an evicted subscriber.
+	closeFrameTimeout = 100 * time.Millisecond
 )
 
 // ErrClosed reports an operation on a shut-down broker.
@@ -172,6 +184,23 @@ type Config struct {
 	Tracer *tracing.Tracer
 	// Logf logs connection lifecycle events (nil = silent).
 	Logf func(format string, args ...any)
+	// Governor, when non-nil, enables the overload governor (see
+	// internal/governor): its levels drive CPU-pressure method demotion on
+	// every subscriber path, memory-pressure shrinking of replay rings and
+	// the frame cache, admission control (RETRY-AFTER refusals of new
+	// subscribes while memory-critical), and shedding of the slowest
+	// subscriber queues. The broker fills in QueuedBytes, Metrics, Tracer,
+	// and Logf when unset, wires Engine.Limiter, and owns Start/Stop.
+	Governor *governor.Config
+	// RetryAfter is the delay suggested to subscribers refused by admission
+	// control (DefaultRetryAfter if 0).
+	RetryAfter time.Duration
+	// BreakerWait arms the slow-subscriber circuit breaker: a subscriber
+	// whose deliveries sit queued longer than this, continuously for
+	// BreakerWindow, is evicted with an explicit "slow consumer" close
+	// frame. 0 disables the breaker.
+	BreakerWait   time.Duration
+	BreakerWindow time.Duration
 }
 
 // Broker accepts publisher and subscriber connections and fans events out.
@@ -181,8 +210,14 @@ type Broker struct {
 	reg     *codec.Registry
 	met     *metrics.Registry
 	plane   *encplane.Plane
-	hbFrame []byte // precomputed zero-length None frame (heartbeats)
+	gov     *governor.Governor // nil unless Config.Governor was set
+	hbFrame []byte             // precomputed zero-length None frame (heartbeats)
 	logf    func(string, ...any)
+
+	// memFactor is the replay/cache scale last applied by the governor's
+	// memory dimension, in percent (100 = full budgets). The sampler
+	// compares-and-applies so shrink/restore runs once per level change.
+	memFactor atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -331,7 +366,54 @@ func New(cfg Config) (*Broker, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	plane, err := encplane.New(encplane.Config{
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.BreakerWait > 0 && cfg.BreakerWindow <= 0 {
+		cfg.BreakerWindow = DefaultBreakerWindow
+	}
+
+	// The governor is built before the plane (its NotePipeWait feeds the
+	// plane's sequencer) but samples broker state, so its sources close over
+	// the *Broker assigned below — safe because sampling only starts after b
+	// exists, and nil-guarded anyway.
+	var b *Broker
+	var gov *governor.Governor
+	if cfg.Governor != nil {
+		gcfg := *cfg.Governor
+		if gcfg.Metrics == nil {
+			gcfg.Metrics = met
+		}
+		if gcfg.Tracer == nil {
+			gcfg.Tracer = cfg.Tracer
+		}
+		if gcfg.Logf == nil {
+			gcfg.Logf = logf
+		}
+		if gcfg.QueuedBytes == nil {
+			gcfg.QueuedBytes = func() int64 {
+				if b == nil {
+					return 0
+				}
+				return b.queuedBytes()
+			}
+		}
+		userSample := gcfg.OnSample
+		gcfg.OnSample = func(s governor.Snapshot) {
+			if b != nil {
+				b.onPressureSample(s)
+			}
+			if userSample != nil {
+				userSample(s)
+			}
+		}
+		gov = governor.New(gcfg)
+		// Every subscriber engine built from this template now demotes
+		// selections down the method ladder under CPU pressure.
+		cfg.Engine.Limiter = gov
+	}
+
+	pcfg := encplane.Config{
 		Engine:     cfg.Engine,
 		Workers:    cfg.Engine.Workers,
 		CacheBytes: cfg.CacheBytes,
@@ -339,7 +421,11 @@ func New(cfg Config) (*Broker, error) {
 		Trace:      cfg.Trace,
 		Tracer:     cfg.Tracer,
 		Logf:       logf,
-	})
+	}
+	if gov != nil {
+		pcfg.PipeWait = gov.NotePipeWait
+	}
+	plane, err := encplane.New(pcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -349,19 +435,25 @@ func New(cfg Config) (*Broker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("broker: heartbeat frame: %w", err)
 	}
-	return &Broker{
+	b = &Broker{
 		cfg:     cfg,
 		domain:  echo.NewDomain(),
 		reg:     cfg.Engine.Registry,
 		met:     met,
 		plane:   plane,
+		gov:     gov,
 		hbFrame: hb,
 		logf:    logf,
 		subs:    make(map[int]*subscriber),
 		pubs:    make(map[net.Conn]struct{}),
 		lns:     make(map[net.Listener]struct{}),
 		chans:   make(map[string]*channelState),
-	}, nil
+	}
+	b.memFactor.Store(100)
+	if gov != nil {
+		gov.Start()
+	}
+	return b, nil
 }
 
 // Domain exposes the broker's channel namespace for in-process publishers
@@ -370,6 +462,120 @@ func (b *Broker) Domain() *echo.Domain { return b.domain }
 
 // Metrics returns the instrumentation registry the broker feeds.
 func (b *Broker) Metrics() *metrics.Registry { return b.met }
+
+// Governor returns the overload governor, nil unless Config.Governor was
+// set. Tests drive SampleNow through it for deterministic pressure steps.
+func (b *Broker) Governor() *governor.Governor { return b.gov }
+
+// states snapshots the channel-state map.
+func (b *Broker) states() []*channelState {
+	b.chmu.Lock()
+	defer b.chmu.Unlock()
+	out := make([]*channelState, 0, len(b.chans))
+	for _, st := range b.chans {
+		out = append(out, st)
+	}
+	return out
+}
+
+// queuedBytes is the governor's aggregate-bytes source: wire bytes held by
+// live shared frames (queued deliveries, the frame cache, in-flight
+// encodes) plus every replay ring's retained payload.
+func (b *Broker) queuedBytes() int64 {
+	total := b.plane.LiveBytes()
+	for _, st := range b.states() {
+		st.mu.Lock()
+		total += st.ring.bytes
+		st.mu.Unlock()
+	}
+	return total
+}
+
+// memScale maps a memory-pressure level to the replay/cache budget scale in
+// percent.
+func memScale(l governor.Level) int64 {
+	switch l {
+	case governor.LevelElevated:
+		return 50
+	case governor.LevelCritical:
+		return 25
+	}
+	return 100
+}
+
+// onPressureSample runs on the governor's sampling goroutine after every
+// sample: rescale retention budgets when the memory level moved, and shed
+// the slowest subscriber queues while memory stays critical. CPU pressure
+// needs no push — every subscriber's next selection reads the method cap
+// through the engine's limiter.
+func (b *Broker) onPressureSample(snap governor.Snapshot) {
+	factor := memScale(snap.Mem)
+	if b.memFactor.Swap(factor) != factor {
+		b.applyMemFactor(factor)
+	}
+	if snap.Mem == governor.LevelCritical {
+		b.shedSlowest()
+	}
+}
+
+// applyMemFactor rescales the frame cache and every replay ring to
+// factor percent of their configured budgets (floored; 100 restores).
+func (b *Broker) applyMemFactor(factor int64) {
+	f := float64(factor) / 100
+	b.plane.SetCacheScale(f, ringFloorBytes)
+	var evBlocks int
+	var evBytes int64
+	for _, st := range b.states() {
+		st.mu.Lock()
+		blocks, bytes := st.ring.setPressure(f)
+		st.depthBlocks.Set(int64(st.ring.len()))
+		st.depthBytes.Set(st.ring.bytes)
+		st.mu.Unlock()
+		evBlocks += blocks
+		evBytes += bytes
+	}
+	if evBlocks > 0 {
+		b.met.Counter("broker.replay_evicted_blocks").Add(int64(evBlocks))
+		b.met.Counter("broker.replay_evicted_bytes").Add(evBytes)
+	}
+	b.logf("broker: governor scaled retention to %d%% (shrink evicted %d blocks)", factor, evBlocks)
+}
+
+// maxShedPerSample bounds one sampling interval's evictions so a single
+// critical sample cannot dump the whole subscriber population — pressure
+// relief arrives in governor-interval-sized steps, newest readings first.
+const maxShedPerSample = 64
+
+// shedSlowest evicts the deepest subscriber queues (at least half full)
+// while memory pressure is critical: each eviction releases that queue's
+// frame references immediately. Victims get the explicit overload close
+// frame, so they back off and resume rather than hammer the handshake.
+func (b *Broker) shedSlowest() {
+	half := b.cfg.QueueLen / 2
+	if half < 1 {
+		half = 1
+	}
+	b.mu.Lock()
+	victims := make([]*subscriber, 0, 8)
+	for _, s := range b.subs {
+		if len(s.queue) >= half {
+			victims = append(victims, s)
+		}
+	}
+	b.mu.Unlock()
+	if len(victims) == 0 {
+		return
+	}
+	sort.Slice(victims, func(i, j int) bool { return len(victims[i].queue) > len(victims[j].queue) })
+	if len(victims) > maxShedPerSample {
+		victims = victims[:maxShedPerSample]
+	}
+	for _, s := range victims {
+		b.gov.NoteShedEviction()
+		b.met.Counter("broker.shed_evictions").Inc()
+		b.evictSub(s, codec.CloseOverload, "overload shed: memory pressure critical")
+	}
+}
 
 // Decisions returns the per-block decision trace, nil unless Config.Trace
 // was set.
@@ -523,6 +729,19 @@ func (b *Broker) handle(conn net.Conn) {
 		b.handlePublisher(conn, hs.channel)
 
 	case RoleSubscribe, RoleResume:
+		// Admission control: while the memory dimension is critical, taking
+		// on another queue + engine + replay snapshot makes the exhaustion
+		// worse, so refuse with an explicit RETRY-AFTER instead of accepting
+		// a session that shedding would immediately evict.
+		if b.gov != nil && b.gov.Memory() == governor.LevelCritical {
+			b.gov.NoteShedSubscribe()
+			b.met.Counter("broker.admission_refused").Inc()
+			_ = writeRetryReply(conn, "overloaded: memory pressure critical", b.cfg.RetryAfter)
+			conn.Close()
+			b.logf("broker: refused %c on %q: memory pressure critical (retry after %v)",
+				hs.role, hs.channel, b.cfg.RetryAfter)
+			return
+		}
 		resume := hs.role == RoleResume
 		s, firstSeq, err := b.addSubscriber(conn, hs.channel, pl, resume, hs.lastSeq)
 		if err != nil {
@@ -667,6 +886,18 @@ type subscriber struct {
 	// reference can slip into a queue nobody will ever drain.
 	qmu  sync.Mutex
 	dead bool
+
+	// wmu serializes connection writes so the eviction path can interleave
+	// its close-reason frame on whole-frame boundaries. The write loop holds
+	// it per frame; teardown only TryLocks — a writer blocked on a dead peer
+	// means the close frame is skipped, not waited for.
+	wmu sync.Mutex
+	// closeCode, when non-zero, overrides the close-reason frame's default
+	// (overload) — the breaker sets slow-consumer before evicting.
+	closeCode atomic.Int32
+	// slowSince is when the current over-threshold queue-wait run started
+	// (breaker state; write-loop only).
+	slowSince time.Time
 
 	curMethod    codec.Method       // current class method (write-loop only)
 	curPlacement selector.Placement // current class placement (write-loop only)
@@ -921,7 +1152,10 @@ func (s *subscriber) run(b *Broker) {
 				return
 			}
 		case <-hb:
-			if _, err := s.wc.Write(b.hbFrame); err != nil {
+			s.wmu.Lock()
+			_, err := s.wc.Write(b.hbFrame)
+			s.wmu.Unlock()
+			if err != nil {
 				b.logf("broker: subscriber %d write: %v", s.id, err)
 				b.removeSub(s, true, "write failed or timed out")
 				return
@@ -945,6 +1179,9 @@ func (s *subscriber) sendLive(b *Broker, d encplane.Delivery) bool {
 		// Queue wait is attributed once per class (first dequeuer), so the
 		// histogram measures distinct frames, not fan-out width.
 		s.queueWait.Observe(time.Since(d.At).Seconds())
+	}
+	if b.cfg.BreakerWait > 0 && s.checkBreaker(b, time.Since(d.At)) {
+		return false
 	}
 	tr := b.cfg.Tracer
 	if tr != nil && d.TC.Valid() {
@@ -985,7 +1222,10 @@ func (s *subscriber) sendLive(b *Broker, d encplane.Delivery) bool {
 	}
 	frame := f.Bytes()
 	start := time.Now()
-	if _, err := s.wc.Write(frame); err != nil {
+	s.wmu.Lock()
+	_, err := s.wc.Write(frame)
+	s.wmu.Unlock()
+	if err != nil {
 		b.logf("broker: subscriber %d write: %v", s.id, err)
 		b.removeSub(s, true, "write failed or timed out")
 		return false
@@ -1020,8 +1260,11 @@ func (s *subscriber) sendReplay(b *Broker, e ringEntry) bool {
 	defer f.Release()
 	frame := f.Bytes()
 	start := time.Now()
-	if _, err := s.wc.Write(frame); err != nil {
-		b.logf("broker: subscriber %d write: %v", s.id, err)
+	s.wmu.Lock()
+	_, werr := s.wc.Write(frame)
+	s.wmu.Unlock()
+	if werr != nil {
+		b.logf("broker: subscriber %d write: %v", s.id, werr)
 		b.removeSub(s, true, "write failed or timed out")
 		return false
 	}
@@ -1088,6 +1331,79 @@ func (s *subscriber) adapt(blockLen int, probe sampling.ProbeResult) bool {
 	return false
 }
 
+// checkBreaker runs the slow-subscriber circuit breaker against one
+// delivery's queue wait: a wait over BreakerWait starts (or continues) an
+// over-threshold run, and a run lasting BreakerWindow trips — the
+// subscriber is evicted with an explicit "slow consumer" close frame so it
+// backs off and resumes instead of dragging the shared plane. Returns true
+// when tripped (the caller's write loop exits). Write-loop only.
+func (s *subscriber) checkBreaker(b *Broker, wait time.Duration) bool {
+	if wait < b.cfg.BreakerWait {
+		s.slowSince = time.Time{}
+		return false
+	}
+	now := time.Now()
+	if s.slowSince.IsZero() {
+		s.slowSince = now
+		return false
+	}
+	if now.Sub(s.slowSince) < b.cfg.BreakerWindow {
+		return false
+	}
+	b.met.Counter("broker.breaker_trips").Inc()
+	if b.gov != nil {
+		b.gov.NoteBreakerTrip()
+	}
+	b.evictSub(s, codec.CloseSlowConsumer,
+		fmt.Sprintf("slow consumer: queue wait %v over %v for %v", wait, b.cfg.BreakerWait, b.cfg.BreakerWindow))
+	return true
+}
+
+// evictSub is removeSub with an explicit close-reason code for the
+// subscriber's goodbye frame.
+func (b *Broker) evictSub(s *subscriber, code codec.CloseReason, reason string) {
+	s.closeCode.Store(int32(code))
+	b.removeSub(s, true, reason)
+}
+
+// closeFrame builds the explicit close-reason frame: a zero-length
+// annotated frame carrying the reason TLV. Clients that predate it see an
+// empty frame with an unknown annotation — a heartbeat — and then EOF,
+// which is exactly the old behaviour.
+func (b *Broker) closeFrame(code codec.CloseReason, msg string) []byte {
+	anno := codec.AppendCloseAnno(nil, code, msg)
+	frame, _, err := codec.AppendFrameOpts(nil, b.reg, codec.None, nil, codec.FrameOpts{Anno: anno})
+	if err != nil {
+		return nil
+	}
+	return frame
+}
+
+// sendCloseFrame best-effort-writes the eviction goodbye before the
+// connection is severed. TryLock keeps it safe against the write loop: if a
+// writer is mid-frame (or wedged on a dead peer), the frame is skipped
+// rather than interleaved or waited for — the client then sees the generic
+// teardown it would have seen anyway.
+func (b *Broker) sendCloseFrame(s *subscriber, code codec.CloseReason, msg string) {
+	frame := b.closeFrame(code, msg)
+	if frame == nil {
+		return
+	}
+	if !s.wmu.TryLock() {
+		return
+	}
+	defer s.wmu.Unlock()
+	_ = s.conn.SetWriteDeadline(time.Now().Add(closeFrameTimeout))
+	// The handshake epilogue clears conn deadlines; an eviction racing it
+	// (the governor can shed a subscriber the instant it registers) can have
+	// its write deadline wiped and wedge forever on a synchronous transport.
+	// The conn is severed right after this returns anyway, so a watchdog
+	// close bounds the goodbye unconditionally.
+	watchdog := time.AfterFunc(2*closeFrameTimeout, func() { s.conn.Close() })
+	defer watchdog.Stop()
+	_, _ = s.conn.Write(frame)
+}
+
 // readDrain consumes and discards anything the subscriber writes (pings),
 // detecting dead or silent peers via the read timeout.
 func (s *subscriber) readDrain(b *Broker) {
@@ -1124,6 +1440,15 @@ func (b *Broker) removeSub(s *subscriber, evicted bool, reason string) {
 		s.dead = true
 		s.qmu.Unlock()
 		close(s.quit)
+		if evicted {
+			// Say why before hanging up, so the client surfaces "evicted:
+			// overload" (and backs off) instead of a generic read error.
+			code := codec.CloseReason(s.closeCode.Load())
+			if code == 0 {
+				code = codec.CloseOverload
+			}
+			b.sendCloseFrame(s, code, reason)
+		}
 		s.conn.Close()
 		for {
 			select {
@@ -1163,6 +1488,11 @@ func (b *Broker) Shutdown(ctx context.Context) error {
 	b.mu.Unlock()
 	for _, ln := range lns {
 		ln.Close()
+	}
+	// Stop the governor before draining: its sampler must not shed
+	// subscribers that are mid-flush.
+	if b.gov != nil {
+		b.gov.Stop()
 	}
 
 	// Let publishers finish naturally so every submitted event reaches the

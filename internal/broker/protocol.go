@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
+	"ccx/internal/codec"
 	"ccx/internal/selector"
 )
 
@@ -71,6 +73,12 @@ const (
 
 	statusOK     = 0
 	statusRefuse = 1
+	// statusRetry is the admission-control reply: refuse-with-RETRY-AFTER.
+	// The wire is the refusal layout (uvarint-length reason text) followed by
+	// one uvarint of suggested retry delay in milliseconds. Clients predating
+	// it parse the prefix as a plain refusal and never read the trailing
+	// uvarint — harmless, since the connection closes right after.
+	statusRetry = 2
 )
 
 var handshakeMagic = [3]byte{'C', 'C', 'B'}
@@ -82,6 +90,39 @@ var (
 	// from the wire is attached to the returned error text.
 	ErrRefused = errors.New("broker: session refused")
 )
+
+// OverloadError is the client-side face of a RETRY-AFTER refusal: the
+// broker's admission control shed this subscribe under memory pressure and
+// suggested when to try again. It matches errors.Is(err, ErrRefused), so
+// callers that only know refusals still behave; callers that know better
+// (errors.As) honor RetryAfter instead of their own backoff schedule.
+type OverloadError struct {
+	RetryAfter time.Duration
+	Reason     string
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("broker: session refused: %s (retry after %v)", e.Reason, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrRefused) hold for overload refusals.
+func (e *OverloadError) Is(target error) bool { return target == ErrRefused }
+
+// EvictedError is what a subscriber's frame stream ends with when the
+// broker severed it deliberately and said why (the explicit close-reason
+// frame): "evicted: overload" instead of a generic read error. Clients
+// treat it as a signal to back off with jitter and resume.
+type EvictedError struct {
+	Reason codec.CloseReason
+	Msg    string
+}
+
+func (e *EvictedError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("broker: evicted: %s (%s)", e.Reason, e.Msg)
+	}
+	return fmt.Sprintf("broker: evicted: %s", e.Reason)
+}
 
 // HandshakePublish performs the client half of a publisher handshake on
 // conn. On return the caller owns a frame stream to the broker: every
@@ -183,6 +224,15 @@ func clientHandshake(conn net.Conn, role byte, channel string, lastSeq uint64, p
 	if err != nil {
 		return 0, ErrRefused
 	}
+	if status[0] == statusRetry {
+		millis, err := readUvarint(conn)
+		if err != nil {
+			// Reason arrived, delay didn't: still an overload refusal, with
+			// no retry hint for the caller's backoff to override.
+			return 0, &OverloadError{Reason: reason}
+		}
+		return 0, &OverloadError{RetryAfter: time.Duration(millis) * time.Millisecond, Reason: reason}
+	}
 	return 0, fmt.Errorf("%w: %s", ErrRefused, reason)
 }
 
@@ -263,6 +313,25 @@ func writeResumeReply(w io.Writer, firstSeq uint64) error {
 	msg := make([]byte, 0, 11)
 	msg = append(msg, statusOK)
 	msg = binary.AppendUvarint(msg, firstSeq)
+	_, err := w.Write(msg)
+	return err
+}
+
+// writeRetryReply sends the admission-control refusal: reason text plus the
+// suggested retry delay.
+func writeRetryReply(w io.Writer, reason string, retryAfter time.Duration) error {
+	if len(reason) > MaxChannelName {
+		reason = reason[:MaxChannelName]
+	}
+	millis := retryAfter.Milliseconds()
+	if millis < 0 {
+		millis = 0
+	}
+	msg := make([]byte, 0, 12+len(reason))
+	msg = append(msg, statusRetry)
+	msg = binary.AppendUvarint(msg, uint64(len(reason)))
+	msg = append(msg, reason...)
+	msg = binary.AppendUvarint(msg, uint64(millis))
 	_, err := w.Write(msg)
 	return err
 }

@@ -8,6 +8,11 @@ package broker
 type replayRing struct {
 	maxBlocks int
 	maxBytes  int64
+	// baseBlocks/baseBytes remember the configured bounds so pressure
+	// scaling (setPressure) is reversible; zero means setBounds was never
+	// called with retention enabled.
+	baseBlocks int
+	baseBytes  int64
 
 	entries []ringEntry // FIFO window; entries[head:] are live
 	head    int         // index of the oldest live entry
@@ -27,6 +32,44 @@ type ringEntry struct {
 // setBounds configures retention. Non-positive bounds disable replay.
 func (r *replayRing) setBounds(blocks int, bytes int64) {
 	r.maxBlocks, r.maxBytes = blocks, bytes
+	r.baseBlocks, r.baseBytes = blocks, bytes
+}
+
+// Pressure floors: however hard the governor squeezes, a ring that had
+// replay enabled keeps a minimal resume window so short-lived pressure
+// doesn't turn every reconnect into a gap.
+const (
+	ringFloorBlocks = 16
+	ringFloorBytes  = 1 << 20
+)
+
+// setPressure rescales the retention bounds to the configured values times
+// factor (clamped to the floors above; factor 1 restores them exactly) and
+// evicts immediately to fit. Returns what the shrink discarded. No-op on a
+// ring without replay enabled.
+func (r *replayRing) setPressure(factor float64) (evictedBlocks int, evictedBytes int64) {
+	if r.baseBlocks <= 0 || r.baseBytes <= 0 {
+		return 0, 0
+	}
+	if factor <= 0 || factor > 1 {
+		factor = 1
+	}
+	blocks := int(float64(r.baseBlocks) * factor)
+	bytes := int64(float64(r.baseBytes) * factor)
+	if blocks < ringFloorBlocks {
+		blocks = ringFloorBlocks
+	}
+	if blocks > r.baseBlocks {
+		blocks = r.baseBlocks
+	}
+	if bytes < ringFloorBytes {
+		bytes = ringFloorBytes
+	}
+	if bytes > r.baseBytes {
+		bytes = r.baseBytes
+	}
+	r.maxBlocks, r.maxBytes = blocks, bytes
+	return r.evictTo(blocks, bytes)
 }
 
 // enabled reports whether the ring retains blocks at all.

@@ -1,0 +1,79 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Annotation TLV kind registry. A frame v4 annotation block is a sequence
+// of records — kind(1) length(uvarint) payload — and readers skip kinds
+// they do not understand, so new kinds never need a frame version bump.
+// Kind 0x01 is the distributed-trace context (internal/tracing); kinds
+// defined here must stay clear of it.
+const (
+	// annoKindClose carries a session-close reason: one CloseReason byte
+	// followed by optional human-readable text. The broker stamps it into a
+	// zero-length frame written right before it severs an evicted
+	// subscriber, so the client can tell "evicted: overload" apart from a
+	// generic transport error (and back off accordingly). Old readers see
+	// an unknown TLV inside an empty frame — a heartbeat — and carry on.
+	annoKindClose = 0x02
+)
+
+// CloseReason codes the broker's motive for severing a session.
+type CloseReason byte
+
+const (
+	// CloseOverload is a slow-subscriber eviction: the outbound queue
+	// overflowed under the Evict policy, or the overload governor shed the
+	// session to relieve memory pressure.
+	CloseOverload CloseReason = 1
+	// CloseSlowConsumer is a circuit-breaker trip: the subscriber's queue
+	// wait stayed over threshold for the whole breaker window.
+	CloseSlowConsumer CloseReason = 2
+)
+
+// String renders the reason the way clients surface it ("evicted: <reason>").
+func (r CloseReason) String() string {
+	switch r {
+	case CloseOverload:
+		return "overload"
+	case CloseSlowConsumer:
+		return "slow consumer"
+	}
+	return fmt.Sprintf("close(%d)", byte(r))
+}
+
+// AppendCloseAnno appends a close-reason TLV record to dst. msg is
+// truncated so the record always fits MaxAnnoLen alongside nothing else.
+func AppendCloseAnno(dst []byte, reason CloseReason, msg string) []byte {
+	const maxMsg = 128
+	if len(msg) > maxMsg {
+		msg = msg[:maxMsg]
+	}
+	dst = append(dst, annoKindClose)
+	dst = binary.AppendUvarint(dst, uint64(1+len(msg)))
+	dst = append(dst, byte(reason))
+	return append(dst, msg...)
+}
+
+// ParseCloseAnno scans a frame annotation block for a close-reason record,
+// skipping unknown TLV kinds. ok is false when the block carries none or
+// is malformed (the frame CRC already covered the bytes, so malformed here
+// means an incompatible writer — treat the frame as a plain heartbeat).
+func ParseCloseAnno(anno []byte) (reason CloseReason, msg string, ok bool) {
+	for len(anno) >= 2 {
+		kind := anno[0]
+		l, n := binary.Uvarint(anno[1:])
+		if n <= 0 || uint64(len(anno)-1-n) < l {
+			return 0, "", false
+		}
+		body := anno[1+n : 1+n+int(l)]
+		anno = anno[1+n+int(l):]
+		if kind != annoKindClose || len(body) < 1 {
+			continue
+		}
+		return CloseReason(body[0]), string(body[1:]), true
+	}
+	return 0, "", false
+}

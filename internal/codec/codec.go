@@ -56,6 +56,18 @@ func (m Method) String() string {
 	return fmt.Sprintf("custom(%d)", uint8(m))
 }
 
+// CostRank orders methods by CPU cost for the overload-degradation ladder
+// (BWT → LZ → Huffman → None): a method is "heavier" than a cap when its
+// rank is greater. The built-in wire identifiers happen to ascend in cost
+// order; custom codecs rank above everything built in, so a governor cap
+// always demotes them.
+func CostRank(m Method) int {
+	if m <= BurrowsWheeler {
+		return int(m)
+	}
+	return int(BurrowsWheeler) + 1
+}
+
 // Codec compresses and decompresses byte blocks. Implementations must be
 // safe for concurrent use.
 //

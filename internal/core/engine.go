@@ -67,6 +67,22 @@ type Config struct {
 	// and per-block decision traces). The zero value disables all
 	// instrumentation at no hot-path cost.
 	Telemetry Telemetry
+	// Limiter, when set, constrains the selector's method ladder under
+	// resource pressure (the overload governor implements it). The policy
+	// still runs per block with the paper's measurements; the limiter only
+	// caps how expensive the outcome may be, and every demotion is surfaced
+	// in Decision.Reason and the limiter's own accounting.
+	Limiter MethodLimiter
+}
+
+// MethodLimiter is the engine's hook into process-wide CPU governance:
+// CapMethod reports the heaviest permitted method (ok=false means no cap),
+// and NoteDemoted observes each decision actually stepped down. Both are
+// called per block and must be cheap and concurrency-safe.
+// *governor.Governor implements it.
+type MethodLimiter interface {
+	CapMethod() (max codec.Method, cause string, ok bool)
+	NoteDemoted(from, to codec.Method)
 }
 
 // Engine runs the adaptation loop. It is safe for concurrent use, though
@@ -81,6 +97,7 @@ type Engine struct {
 	now    func() time.Time
 	tel    Telemetry
 	tx     *txInstruments // nil unless Telemetry.Metrics is set
+	lim    MethodLimiter  // nil = ungoverned
 
 	workers int
 
@@ -129,6 +146,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		now:     now,
 		tel:     cfg.Telemetry,
 		workers: cfg.Workers,
+		lim:     cfg.Limiter,
 	}
 	if cfg.Telemetry.Metrics != nil {
 		e.tx = newTxInstruments(cfg.Telemetry.Metrics, reg)
@@ -217,6 +235,13 @@ func (e *Engine) DecideProbed(blockLen int, probe sampling.ProbeResult) selector
 	}
 	d := e.policy.Select(in)
 	d.Placement = pl
+	if e.lim != nil && d.Method != codec.None {
+		if max, cause, ok := e.lim.CapMethod(); ok && codec.CostRank(d.Method) > codec.CostRank(max) {
+			d.Demoted, d.DemotedFrom, d.DemoteCause = true, d.Method, cause
+			d.Method = max
+			e.lim.NoteDemoted(d.DemotedFrom, max)
+		}
+	}
 	return d
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"time"
 
@@ -102,6 +103,70 @@ func TestProbeOverlap(t *testing.T) {
 	dec = e.Decide(blockA)
 	if dec.Method == codec.None {
 		t.Fatalf("synchronous probe fallback broken: got %v", dec.Method)
+	}
+}
+
+// fakeLimiter is a scripted MethodLimiter standing in for the overload
+// governor.
+type fakeLimiter struct {
+	max     codec.Method
+	cause   string
+	on      bool
+	demoted []codec.Method // NoteDemoted from-methods, in order
+}
+
+func (l *fakeLimiter) CapMethod() (codec.Method, string, bool) { return l.max, l.cause, l.on }
+func (l *fakeLimiter) NoteDemoted(from, to codec.Method)       { l.demoted = append(l.demoted, from) }
+
+func TestLimiterDemotesSelection(t *testing.T) {
+	lim := &fakeLimiter{max: codec.Huffman, cause: "cpu critical", on: true}
+	e := newTestEngine(t, Config{Now: virtualNow(time.Millisecond), Limiter: lim})
+	block := datagen.OISTransactions(128*1024, 0.9, 1)
+	e.Monitor().Observe(128*1024, 2*time.Second) // slow line: wants LZ/BWT
+	dec := e.Decide(block)
+	if dec.Method != codec.Huffman {
+		t.Fatalf("capped decision = %v, want huffman", dec.Method)
+	}
+	if !dec.Demoted || dec.DemoteCause != "cpu critical" {
+		t.Fatalf("demotion not recorded: %+v", dec)
+	}
+	if dec.DemotedFrom != codec.LempelZiv && dec.DemotedFrom != codec.BurrowsWheeler {
+		t.Fatalf("DemotedFrom = %v, want a dictionary method", dec.DemotedFrom)
+	}
+	if len(lim.demoted) != 1 || lim.demoted[0] != dec.DemotedFrom {
+		t.Fatalf("NoteDemoted calls = %v", lim.demoted)
+	}
+	reason := dec.Reason()
+	for _, want := range []string{"governor demoted", "cpu critical"} {
+		if !strings.Contains(reason, want) {
+			t.Fatalf("Reason %q missing %q", reason, want)
+		}
+	}
+}
+
+func TestLimiterLeavesCompliantSelectionAlone(t *testing.T) {
+	// Cap at the top of the ladder: nothing the selector picks outranks it.
+	lim := &fakeLimiter{max: codec.BurrowsWheeler, cause: "cpu elevated", on: true}
+	e := newTestEngine(t, Config{Now: virtualNow(time.Millisecond), Limiter: lim})
+	block := datagen.OISTransactions(128*1024, 0.9, 1)
+	e.Monitor().Observe(128*1024, 2*time.Second)
+	if dec := e.Decide(block); dec.Demoted || len(lim.demoted) != 0 {
+		t.Fatalf("decision under a non-binding cap was demoted: %+v", dec)
+	}
+	// Inactive limiter (ok=false): even a tight cap is ignored.
+	lim2 := &fakeLimiter{max: codec.None, cause: "cpu critical", on: false}
+	e2 := newTestEngine(t, Config{Now: virtualNow(time.Millisecond), Limiter: lim2})
+	e2.Monitor().Observe(128*1024, 2*time.Second)
+	if dec := e2.Decide(block); dec.Demoted || dec.Method == codec.None {
+		t.Fatalf("inactive limiter interfered: %+v", dec)
+	}
+	// A None selection is never "demoted" — there is nothing cheaper.
+	lim3 := &fakeLimiter{max: codec.None, cause: "cpu critical", on: true}
+	e3 := newTestEngine(t, Config{Limiter: lim3})
+	fast := datagen.Random(128*1024, 2)
+	e3.Monitor().Observe(128*1024, 10*time.Second)
+	if dec := e3.Decide(fast); dec.Method != codec.None || dec.Demoted {
+		t.Fatalf("incompressible block under cap: %+v", dec)
 	}
 }
 

@@ -127,10 +127,11 @@ type Reader struct {
 	onCorrupt func(error) bool
 	err       error
 
-	tel   Telemetry
-	rx    *rxInstruments   // nil unless SetTelemetry installed a registry
-	seq   int              // ordinal of the next frame (healthy or corrupt)
-	track *DeliveryTracker // nil unless SetDeliveryTracker installed one
+	tel     Telemetry
+	rx      *rxInstruments   // nil unless SetTelemetry installed a registry
+	seq     int              // ordinal of the next frame (healthy or corrupt)
+	track   *DeliveryTracker // nil unless SetDeliveryTracker installed one
+	onClose func(anno []byte) error
 }
 
 // NewReader returns a Reader over r. reg selects the codec set (nil =
@@ -156,6 +157,15 @@ func (r *Reader) SetCorruptHandler(h func(error) bool) { r.onCorrupt = h }
 // frames pass through untouched.
 func (r *Reader) SetDeliveryTracker(t *DeliveryTracker) { r.track = t }
 
+// SetCloseHandler installs h, called for zero-length annotated control
+// frames (the broker's explicit-close protocol: a close-reason TLV stamped
+// into an empty v4 frame right before the connection is severed). A non-nil
+// return becomes the Reader's terminal error, letting clients surface
+// "evicted: overload" instead of whatever the torn transport produces; a
+// nil return skips the frame like a heartbeat. Control frames bypass the
+// delivery tracker — their sequence numbers are not data sequences.
+func (r *Reader) SetCloseHandler(h func(anno []byte) error) { r.onClose = h }
+
 // Read implements io.Reader.
 func (r *Reader) Read(p []byte) (int, error) {
 	for len(r.rest) == 0 {
@@ -180,6 +190,17 @@ func (r *Reader) Read(p []byte) (int, error) {
 			}
 			r.err = err
 			return 0, err
+		}
+		if len(data) == 0 && len(info.Anno) > 0 && r.onClose != nil {
+			// Control frame: empty payload with an annotation. Handle before
+			// the delivery tracker — its seq is not a data sequence and must
+			// not be suppressed as a duplicate or counted as a gap.
+			if cerr := r.onClose(info.Anno); cerr != nil {
+				r.err = cerr
+				return 0, cerr
+			}
+			r.seq++
+			continue
 		}
 		if r.track != nil && info.HasSeq {
 			deliver, gap := r.track.Observe(info.Seq)

@@ -74,6 +74,10 @@ type Config struct {
 	Tracer *tracing.Tracer
 	// Logf logs encode failures (nil = silent).
 	Logf func(format string, args ...any)
+	// PipeWait, when non-nil, observes each encoded block's pipeline
+	// head-of-line wait — the overload governor's CPU-saturation signal
+	// (governor.NotePipeWait). Called on the sequencer; must be cheap.
+	PipeWait func(time.Duration)
 }
 
 // Plane owns the per-channel encode state. Create with New.
@@ -87,7 +91,10 @@ type Plane struct {
 
 	engine     *core.Engine // shared by every channel pipeline
 	workers    int
-	cacheBytes int64
+	cacheBytes int64        // configured per-channel cache budget
+	effCache   atomic.Int64 // pressure-scaled budget new channels start from
+	pipeWait   func(time.Duration)
+	liveBytes  atomic.Int64 // wire bytes across all live shared frames
 
 	bufs sync.Pool // *[]byte frame buffers, shared across channels
 
@@ -147,6 +154,7 @@ func New(cfg Config) (*Plane, error) {
 		engine:     engine,
 		workers:    cfg.Workers,
 		cacheBytes: cfg.CacheBytes,
+		pipeWait:   cfg.PipeWait,
 
 		encodes:    met.Counter("encplane.encodes"),
 		encBytes:   met.Counter("encplane.encoded_bytes"),
@@ -165,6 +173,7 @@ func New(cfg Config) (*Plane, error) {
 		p.placementDel[pl] = met.Counter(fmt.Sprintf("encplane.placement.%s", pl))
 	}
 	p.bufs.New = func() any { return new([]byte) }
+	p.effCache.Store(cfg.CacheBytes)
 	return p, nil
 }
 
@@ -172,6 +181,46 @@ func New(cfg Config) (*Plane, error) {
 // zero after every member left, the cache was purged, and all deliveries
 // were released. The churn race test asserts on this.
 func (p *Plane) LiveFrames() int64 { return p.framesLive.Value() }
+
+// LiveBytes reports the total wire bytes held by live shared frames across
+// every channel — queued, cached, or in flight. The overload governor's
+// queued-bytes source sums this with the broker's replay rings.
+func (p *Plane) LiveBytes() int64 { return p.liveBytes.Load() }
+
+// SetCacheScale rescales every channel's frame-cache budget to
+// configured*factor, clamped below at floor — the memory-pressure
+// degradation knob. Shrinking evicts immediately (oldest first); factor 1
+// restores the configured budget. Channels created later inherit the
+// current scaled budget.
+func (p *Plane) SetCacheScale(factor float64, floor int64) {
+	if factor <= 0 {
+		factor = 1
+	}
+	budget := int64(float64(p.cacheBytes) * factor)
+	if budget < floor {
+		budget = floor
+	}
+	if budget > p.cacheBytes {
+		budget = p.cacheBytes
+	}
+	p.effCache.Store(budget)
+	p.mu.Lock()
+	chans := make([]*Channel, 0, len(p.chans))
+	for _, c := range p.chans {
+		chans = append(chans, c)
+	}
+	p.mu.Unlock()
+	for _, c := range chans {
+		c.mu.Lock()
+		c.cache.maxBytes = budget
+		evicted := c.cache.trimTo(budget)
+		c.mu.Unlock()
+		for _, f := range evicted {
+			p.evictions.Inc()
+			f.Release()
+		}
+	}
+}
 
 // Channel returns (creating on first use) the named channel's encode state.
 func (p *Plane) Channel(name string) *Channel {
@@ -189,7 +238,7 @@ func (p *Plane) Channel(name string) *Channel {
 		queuedBytes:  p.met.Gauge(fmt.Sprintf("chan.%s.queued_bytes", name)),
 		queuedHWM:    p.met.Gauge(fmt.Sprintf("chan.%s.queued_bytes_hwm", name)),
 	}
-	c.cache.maxBytes = p.cacheBytes
+	c.cache.maxBytes = p.effCache.Load()
 	send := func(frame []byte) (time.Duration, error) {
 		// Copy out of the pipeline's recyclable scratch into a refcounted
 		// buffer; the sequencer's onBlock below fans it out.
@@ -525,6 +574,9 @@ func (c *Channel) fanOut(f *Frame, job pendingJob, r core.BlockResult) {
 	c.p.misses.Inc()
 	c.p.encBytes.Add(int64(f.Len()))
 	c.p.encLat.ObserveDuration(r.CompressTime)
+	if c.p.pipeWait != nil {
+		c.p.pipeWait(r.PipelineWait)
+	}
 
 	delivered := 0
 	var byPlacement [selector.NumPlacements]int64

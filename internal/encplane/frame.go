@@ -119,6 +119,7 @@ func (c *Channel) noteBytes(delta int64) {
 	n := c.liveBytes.Add(delta)
 	c.queuedBytes.Set(n)
 	c.queuedHWM.SetMax(n)
+	c.p.liveBytes.Add(delta)
 }
 
 // cacheKey identifies a frame: the stamped sequence number plus the
@@ -160,6 +161,21 @@ func (fc *frameCache) put(f *Frame) (evicted []*Frame) {
 	fc.fifo = append(fc.fifo, k)
 	fc.bytes += int64(f.Len())
 	for fc.bytes > fc.maxBytes && len(fc.fifo) > 0 {
+		old := fc.fifo[0]
+		fc.fifo = fc.fifo[1:]
+		e := fc.entries[old]
+		delete(fc.entries, old)
+		fc.bytes -= int64(e.Len())
+		evicted = append(evicted, e)
+	}
+	return evicted
+}
+
+// trimTo evicts oldest-first until retained bytes fit budget, returning
+// the evicted frames for release outside the channel lock (the pressure
+// shrink path; put's eviction loop handles the steady state).
+func (fc *frameCache) trimTo(budget int64) (evicted []*Frame) {
+	for fc.bytes > budget && len(fc.fifo) > 0 {
 		old := fc.fifo[0]
 		fc.fifo = fc.fifo[1:]
 		e := fc.entries[old]

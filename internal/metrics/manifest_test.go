@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
@@ -17,6 +18,7 @@ import (
 	"ccx/internal/broker"
 	"ccx/internal/codec"
 	"ccx/internal/core"
+	"ccx/internal/governor"
 	"ccx/internal/metrics"
 	"ccx/internal/selector"
 )
@@ -74,11 +76,17 @@ func TestMetricNameManifest(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Broker, channel, subscriber, and encode-plane families: a broker
-	// serving one subscriber over an in-memory pipe.
+	// Broker, channel, subscriber, encode-plane, and governor families: a
+	// broker serving one subscriber over an in-memory pipe, with the
+	// overload governor watching a deliberately tiny byte budget so the
+	// overload surface (admission refusals, governor shedding) registers
+	// too.
 	b, err := broker.New(broker.Config{
 		Channels:  []string{"md"},
 		Heartbeat: -1,
+		QueueLen:  8,
+		Policy:    broker.DropOldest,
+		Governor:  &governor.Config{MemBudget: -1, BytesBudget: 256 << 10, Interval: time.Hour},
 		Metrics:   reg,
 		Logf:      func(string, ...any) {},
 	})
@@ -107,6 +115,46 @@ func TestMetricNameManifest(t *testing.T) {
 			got++
 		}
 	}
+
+	// Overload family: with the subscriber now stalled, incompressible
+	// blocks back its queue up past the byte budget; one sample goes
+	// critical (shedding the stalled queue), and the next subscribe attempt
+	// is refused — registering the admission and shed counters.
+	rng := rand.New(rand.NewSource(7))
+	junk := make([]byte, 64<<10)
+	for i := 0; i < 6; i++ {
+		rng.Read(junk)
+		if err := b.Publish("md", junk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delivery is asynchronous, so sample until the backed-up queue is both
+	// visible (critical) and deep enough that the governor sheds it. The
+	// eviction itself finishes on the subscriber's write loop, so also wait
+	// for the teardown — broker.evictions registers there — before taking
+	// the snapshot. The stored level stays critical (no further samples),
+	// which is what the admission check below reads.
+	shed := reg.Counter("governor.shed_evictions")
+	deadline := time.Now().Add(5 * time.Second)
+	for shed.Value() == 0 {
+		b.Governor().SampleNow()
+		if time.Now().After(deadline) {
+			t.Fatal("manifest overload scenario never shed the stalled subscriber")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for b.Subscribers() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("shed subscriber never finished tearing down")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	refused, rserver := net.Pipe()
+	b.HandleConn(rserver)
+	if err := broker.HandshakeSubscribe(refused, "md"); err == nil {
+		t.Fatal("subscribe under critical memory should be refused")
+	}
+	refused.Close()
 
 	seen := make(map[string]bool)
 	for _, v := range reg.Views() {

@@ -22,6 +22,28 @@ type SpanDumper interface {
 	WriteJSONL(w io.Writer, max int) error
 }
 
+// MaxDumpRecords is the hard ceiling on records one /debug/decisions or
+// /debug/spans response may carry. Ring sizes are operator-configurable
+// (and "no n parameter" used to mean "the whole ring"), so without a cap a
+// casual curl against a loaded broker with a large ring dumps unbounded
+// JSONL from inside the serving process. Requests asking for more — or for
+// a non-positive/absent n — get exactly this many of the newest records.
+const MaxDumpRecords = 4096
+
+// clampDump applies MaxDumpRecords to a raw ?n= value (0 or negative used
+// to mean "everything"; now it means "the maximum").
+func clampDump(n int) int {
+	if n <= 0 || n > MaxDumpRecords {
+		return MaxDumpRecords
+	}
+	return n
+}
+
+func atoiQuery(r *http.Request, key string) int {
+	n, _ := strconv.Atoi(r.URL.Query().Get(key))
+	return n
+}
+
 // Handler returns the debug plane as an http.Handler:
 //
 //	GET /metrics           Prometheus text exposition of reg
@@ -53,7 +75,7 @@ func Handler(reg *metrics.Registry, log *DecisionLog, spans SpanDumper) http.Han
 		_ = reg.WriteJSON(w)
 	})
 	mux.HandleFunc("/debug/decisions", func(w http.ResponseWriter, r *http.Request) {
-		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		n := clampDump(atoiQuery(r, "n"))
 		if r.URL.Query().Get("format") == "jsonl" {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			_ = log.WriteJSONL(w, n)
@@ -71,8 +93,7 @@ func Handler(reg *metrics.Registry, log *DecisionLog, spans SpanDumper) http.Han
 		if spans == nil {
 			return
 		}
-		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
-		_ = spans.WriteJSONL(w, n)
+		_ = spans.WriteJSONL(w, clampDump(atoiQuery(r, "n")))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

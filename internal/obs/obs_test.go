@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -192,6 +193,74 @@ func TestDebugServerNilPieces(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET %s with nil registry/log: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+type maxRecorder struct{ got int }
+
+func (m *maxRecorder) WriteJSONL(w io.Writer, max int) error {
+	m.got = max
+	return nil
+}
+
+// TestDebugDumpCap pins the hard response ceiling: no ?n= value — absent,
+// zero, negative, or enormous — may make /debug/decisions or /debug/spans
+// emit more than MaxDumpRecords records, however large the backing rings.
+func TestDebugDumpCap(t *testing.T) {
+	for n, want := range map[int]int{0: MaxDumpRecords, -3: MaxDumpRecords,
+		MaxDumpRecords + 1: MaxDumpRecords, 1 << 30: MaxDumpRecords,
+		7: 7, MaxDumpRecords: MaxDumpRecords} {
+		if got := clampDump(n); got != want {
+			t.Errorf("clampDump(%d) = %d, want %d", n, got, want)
+		}
+	}
+
+	log := NewDecisionLog(2 * MaxDumpRecords)
+	total := MaxDumpRecords + 100
+	for i := 0; i < total; i++ {
+		log.Add(Record{Stream: "cap", Block: i})
+	}
+	spans := &maxRecorder{}
+	h := Handler(nil, log, spans)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, w.Code)
+		}
+		return w
+	}
+
+	var recs []Record
+	if err := json.Unmarshal(get("/debug/decisions").Body.Bytes(), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != MaxDumpRecords {
+		t.Fatalf("uncapped /debug/decisions returned %d records, want %d", len(recs), MaxDumpRecords)
+	}
+	if recs[len(recs)-1].Block != total-1 {
+		t.Fatalf("cap dropped the newest record: last block = %d", recs[len(recs)-1].Block)
+	}
+	sc := bufio.NewScanner(get("/debug/decisions?format=jsonl&n=-1").Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines int
+	for sc.Scan() {
+		lines++
+	}
+	if lines != MaxDumpRecords {
+		t.Fatalf("jsonl dump wrote %d lines, want %d", lines, MaxDumpRecords)
+	}
+	for path, want := range map[string]int{
+		"/debug/spans":          MaxDumpRecords,
+		"/debug/spans?n=999999": MaxDumpRecords,
+		"/debug/spans?n=12":     12,
+	} {
+		get(path)
+		if spans.got != want {
+			t.Errorf("GET %s passed max=%d to the span dumper, want %d", path, spans.got, want)
 		}
 	}
 }

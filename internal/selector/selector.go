@@ -138,6 +138,15 @@ type Decision struct {
 	// the engine fills it in so the decision ring and the span ring can be
 	// joined on (trace, block).
 	Trace uint64
+	// Demoted marks a decision the engine stepped down the method ladder
+	// after selection because the overload governor capped CPU spend;
+	// DemotedFrom is what the policy originally chose and DemoteCause the
+	// governor's one-word justification (e.g. "cpu elevated"). The selector
+	// never sets these — they exist so Reason() and the decision traces show
+	// governed decisions honestly.
+	Demoted     bool
+	DemotedFrom codec.Method
+	DemoteCause string
 }
 
 // Reason summarizes in one line why the decision came out the way it did,
@@ -145,6 +154,15 @@ type Decision struct {
 // ratio that drove it. The string is stable enough for decision traces but
 // not a parseable format.
 func (d Decision) Reason() string {
+	base := d.baseReason()
+	if d.Demoted {
+		return fmt.Sprintf("%s; governor demoted %s->%s (%s)",
+			base, d.DemotedFrom, d.Method, d.DemoteCause)
+	}
+	return base
+}
+
+func (d Decision) baseReason() string {
 	in := d.Inputs
 	if d.Offloaded {
 		if ratio, ok := offloadRatio(in, d.LZReduceTime); ok {
@@ -159,7 +177,11 @@ func (d Decision) Reason() string {
 		return "probe found block incompressible: send raw"
 	}
 	ratio := float64(in.SendTime) / float64(d.LZReduceTime)
-	switch d.Method {
+	chosen := d.Method
+	if d.Demoted {
+		chosen = d.DemotedFrom // the branch that actually fired in Select
+	}
+	switch chosen {
 	case codec.None:
 		return fmt.Sprintf("line fast: send/reduce %.2f below threshold", ratio)
 	case codec.Huffman:

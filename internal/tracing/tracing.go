@@ -60,6 +60,9 @@ const (
 	// StageResume is a RESUME handshake replaying a subscriber's tail.
 	// Always recorded (anomaly).
 	StageResume = "resume"
+	// StagePressure is an overload-governor level transition (ok/elevated/
+	// critical). Always recorded; marked anomaly when entering pressure.
+	StagePressure = "pressure"
 )
 
 // Span is one record in a hop's span ring: a stage of one block's life,
