@@ -3,11 +3,12 @@ SHA     := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 BENCH_OUT ?= BENCH_$(SHA).json
 SWARM_OUT ?= swarm.json
 SWARM_SUBS ?= 1000
+SWARM_COMPARE ?= swarm-gate-compare.json
 SOAK_SUBS ?= 1000
 SOAK_OUT ?= soak-metrics.jsonl
 SOAK_GOMEMLIMIT ?= 512MiB
 
-.PHONY: all build test race vet bench bench-baseline swarm breakeven soak clean
+.PHONY: all build test race vet bench bench-baseline swarm swarm-gate swarm-baseline breakeven soak clean
 
 all: build test
 
@@ -45,6 +46,21 @@ swarm:
 		-profiles gigabit,fast100 -interval 25ms -min-dedup 10 \
 		-placement broker -json $(SWARM_OUT)
 
+# swarm-gate re-runs the committed baseline's gated tiers (1k and the 10k
+# acceptance tier) with the baseline's exact parameters and fails on a >15%
+# p99 regression at any matched tier. The per-tier comparison lands in
+# $(SWARM_COMPARE) so CI can upload it whether the gate passes or fails.
+swarm-gate:
+	$(GO) run ./cmd/ccswarm -tiers 1000,10000 -events 8 -block 2048 -interval 250ms \
+		-profiles none -placement broker -shards 4 \
+		-baseline bench/swarm_baseline.json -max-regress 0.15 -compare $(SWARM_COMPARE)
+
+# swarm-baseline refreshes the committed connections-vs-p99 baseline from
+# this machine. Keep the parameters in lockstep with swarm-gate.
+swarm-baseline:
+	$(GO) run ./cmd/ccswarm -tiers 1000,2500,5000,10000 -events 8 -block 2048 -interval 250ms \
+		-profiles none -placement broker -shards 4 -json bench/swarm_baseline.json
+
 # soak drives the overload-governor acceptance soak under -race: SOAK_SUBS
 # stalled subscribers push a memory-capped broker (GOMEMLIMIT set) past its
 # byte budget; it must refuse admission, degrade the method ladder, shed in
@@ -61,4 +77,4 @@ breakeven:
 		$(GO) test -run TestPlacementBreakEven -count=1 ./tests/
 
 clean:
-	rm -f BENCH_*.json swarm.json breakeven.json soak-metrics.jsonl
+	rm -f BENCH_*.json swarm.json swarm-gate-compare.json breakeven.json soak-metrics.jsonl

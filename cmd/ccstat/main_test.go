@@ -29,6 +29,9 @@ func TestFetchAndRender(t *testing.T) {
 	lz := reg.Counter("ccx.tx_method.lz")
 	raw := reg.Counter("ccx.tx_method.none")
 	reg.Gauge("broker.subscribers").Set(3)
+	reg.Gauge("broker.shards").Set(4)
+	wvBatches := reg.Counter("broker.writev_batches")
+	wvFrames := reg.Counter("broker.writev_frames")
 	encodes := reg.Counter("encplane.encodes")
 	deliveries := reg.Counter("encplane.deliveries")
 	hits := reg.Counter("encplane.cache_hits")
@@ -60,6 +63,8 @@ func TestFetchAndRender(t *testing.T) {
 	misses.Add(1)
 	demoted.Add(5)
 	shed.Add(2)
+	wvBatches.Add(4)
+	wvFrames.Add(14)
 	cur, err := fetchVars(client, url)
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +74,7 @@ func TestFetchAndRender(t *testing.T) {
 	t.Logf("line: %s", line)
 	for _, want := range []string{
 		"blk    11 (11.0/s)", "[lz=10 none=1]", "subs 3",
+		"shards 4", "wv 3.5x",
 		"cls 3", "dedup 3.0x", "hit 75%",
 		"prs elev", "dem 5", "shed 2",
 	} {

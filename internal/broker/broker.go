@@ -124,6 +124,14 @@ type Config struct {
 	// QueueLen bounds each subscriber's outbound event queue
 	// (DefaultQueueLen if 0).
 	QueueLen int
+	// Shards sets how many channel event loops the broker fans out on (the
+	// sharded channel core, see shard.go and DESIGN.md §15). Each channel
+	// is homed on one loop keyed by (channel, placement-class), so
+	// per-channel ordering is untouched while distinct channels publish
+	// concurrently. 0 aligns to GOMAXPROCS; explicit counts round up to a
+	// power of two; 1 is the degenerate single-loop broker (the
+	// byte-identity reference in tests); capped at MaxShards.
+	Shards int
 	// Policy picks the slow-subscriber behaviour on queue overflow.
 	Policy Policy
 	// ReplayBlocks and ReplayBytes bound each channel's replay ring: the
@@ -219,10 +227,14 @@ type Broker struct {
 	// compares-and-applies so shrink/restore runs once per level change.
 	memFactor atomic.Int64
 
+	// shards is the channel event-loop set; it also owns the sharded
+	// subscriber registry (b.mu no longer guards subscribers — only
+	// lifecycle state below).
+	shards *shardSet
+
 	mu     sync.Mutex
 	closed bool
 	nextID int
-	subs   map[int]*subscriber
 	pubs   map[net.Conn]struct{}
 	lns    map[net.Listener]struct{}
 
@@ -247,6 +259,7 @@ type channelState struct {
 	ch    *echo.EventChannel
 	ring  replayRing
 	plane *encplane.Channel
+	shard *shard // home event loop; fixed for the channel's lifetime
 
 	seqGauge    *metrics.Gauge // chan.<name>.seq — last assigned sequence
 	depthBlocks *metrics.Gauge // chan.<name>.replay_blocks
@@ -264,20 +277,27 @@ func (b *Broker) state(name string) *channelState {
 		name:        name,
 		ch:          b.domain.OpenChannel(name),
 		plane:       b.plane.Channel(name),
+		shard:       b.shards.forChannel(name, placementClass(b.cfg.Placement)),
 		seqGauge:    b.met.Gauge(fmt.Sprintf("chan.%s.seq", name)),
 		depthBlocks: b.met.Gauge(fmt.Sprintf("chan.%s.replay_blocks", name)),
 		depthBytes:  b.met.Gauge(fmt.Sprintf("chan.%s.replay_bytes", name)),
 	}
 	st.ring.setBounds(b.cfg.ReplayBlocks, b.cfg.ReplayBytes)
+	st.shard.addState(st)
 	b.chans[name] = st
 	return st
 }
 
 // submit stamps one event with the channel's next sequence number, retains
-// it in the replay window, and fans it out through the encode plane (one
-// encode per method class) and the in-process echo channel. The ring lock
-// is held across both so resume snapshots and subscriber joins interleave
-// atomically with publishes.
+// it in the replay window, and hands the fan-out — encode-plane publish
+// (one encode per method class) and the in-process echo channel — to the
+// channel's home event loop. Stamping and the task enqueue both happen
+// under the ring lock, so the shard FIFO sees fan-outs in sequence order
+// and resume snapshots / subscriber joins interleave atomically with
+// publishes (a join task enqueued under the same lock splits the stream
+// exactly: earlier blocks are in the snapshot, later ones arrive live).
+// The enqueue blocks when the home loop is shardTaskBuf behind — that is
+// the publisher backpressure.
 //
 // anno is the block's frame annotation as it arrived from the publisher
 // (nil for in-process publishes). An unannotated block may be head-sampled
@@ -305,11 +325,18 @@ func (b *Broker) submit(st *channelState, data, anno []byte) error {
 	st.seqGauge.Set(int64(seq))
 	st.depthBlocks.Set(int64(st.ring.len()))
 	st.depthBytes.Set(st.ring.bytes)
-	st.plane.PublishAnno(data, seq, anno)
-	return st.ch.Submit(echo.Event{
-		Data:  data,
-		Attrs: echo.Attributes{core.AttrSeq: strconv.FormatUint(seq, 10)},
-	})
+	if !st.shard.do(func() {
+		st.plane.PublishAnno(data, seq, anno)
+		if err := st.ch.Submit(echo.Event{
+			Data:  data,
+			Attrs: echo.Attributes{core.AttrSeq: strconv.FormatUint(seq, 10)},
+		}); err != nil {
+			b.logf("broker: channel %q echo submit: %v", st.name, err)
+		}
+	}) {
+		return ErrClosed
+	}
+	return nil
 }
 
 // New validates cfg and returns a Broker ready to Serve or HandleConn.
@@ -349,6 +376,10 @@ func New(cfg Config) (*Broker, error) {
 	}
 	if !cfg.Placement.Valid() {
 		return nil, fmt.Errorf("broker: invalid placement %s", cfg.Placement)
+	}
+	nshards, err := alignShards(cfg.Shards)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.Engine.Registry == nil {
 		cfg.Engine.Registry = codec.NewRegistry()
@@ -390,12 +421,16 @@ func New(cfg Config) (*Broker, error) {
 		if gcfg.Logf == nil {
 			gcfg.Logf = logf
 		}
-		if gcfg.QueuedBytes == nil {
-			gcfg.QueuedBytes = func() int64 {
+		if gcfg.QueuedBytes == nil && gcfg.QueuedBytesByShard == nil {
+			// Per-shard ledgers, not the global sum: the sampler adds them
+			// exactly (frame accounting updates channel and plane totals
+			// atomically together, so the shard sum equals queuedBytes) and
+			// additionally publishes the widest shard.
+			gcfg.QueuedBytesByShard = func() []int64 {
 				if b == nil {
-					return 0
+					return nil
 				}
-				return b.queuedBytes()
+				return b.queuedBytesByShard()
 			}
 		}
 		userSample := gcfg.OnSample
@@ -444,11 +479,11 @@ func New(cfg Config) (*Broker, error) {
 		gov:     gov,
 		hbFrame: hb,
 		logf:    logf,
-		subs:    make(map[int]*subscriber),
 		pubs:    make(map[net.Conn]struct{}),
 		lns:     make(map[net.Listener]struct{}),
 		chans:   make(map[string]*channelState),
 	}
+	b.shards = newShardSet(nshards, met)
 	b.memFactor.Store(100)
 	if gov != nil {
 		gov.Start()
@@ -478,9 +513,12 @@ func (b *Broker) states() []*channelState {
 	return out
 }
 
-// queuedBytes is the governor's aggregate-bytes source: wire bytes held by
-// live shared frames (queued deliveries, the frame cache, in-flight
-// encodes) plus every replay ring's retained payload.
+// queuedBytes is the aggregate-bytes ledger computed globally: wire bytes
+// held by live shared frames (queued deliveries, the frame cache,
+// in-flight encodes) plus every replay ring's retained payload. The
+// governor normally samples queuedBytesByShard instead; this global form
+// is kept as the independent reading the shard-sum invariant is tested
+// against (Σ queuedBytesByShard == queuedBytes at quiesce).
 func (b *Broker) queuedBytes() int64 {
 	total := b.plane.LiveBytes()
 	for _, st := range b.states() {
@@ -489,6 +527,27 @@ func (b *Broker) queuedBytes() int64 {
 		st.mu.Unlock()
 	}
 	return total
+}
+
+// queuedBytesByShard reads each shard's slice of the byte ledger (and
+// refreshes the broker.shard.N.queued_bytes gauges). Every channel is
+// homed on exactly one shard and frame accounting moves per-channel and
+// plane totals together, so the entries sum to queuedBytes exactly.
+func (b *Broker) queuedBytesByShard() []int64 {
+	out := make([]int64, len(b.shards.shards))
+	for i, sh := range b.shards.shards {
+		out[i] = sh.queuedBytes()
+	}
+	return out
+}
+
+// allSubs snapshots every live subscriber across the shard registries.
+func (b *Broker) allSubs() []*subscriber {
+	var out []*subscriber
+	for _, sh := range b.shards.shards {
+		out = append(out, sh.snapshotSubs()...)
+	}
+	return out
 }
 
 // memScale maps a memory-pressure level to the replay/cache budget scale in
@@ -555,24 +614,23 @@ func (b *Broker) shedSlowest() {
 	if half < 1 {
 		half = 1
 	}
-	b.mu.Lock()
 	victims := make([]*subscriber, 0, 8)
-	for _, s := range b.subs {
-		if len(s.queue) >= half {
+	for _, s := range b.allSubs() {
+		if s.backlog() >= half {
 			victims = append(victims, s)
 		}
 	}
-	b.mu.Unlock()
 	if len(victims) == 0 {
 		return
 	}
-	sort.Slice(victims, func(i, j int) bool { return len(victims[i].queue) > len(victims[j].queue) })
+	sort.Slice(victims, func(i, j int) bool { return victims[i].backlog() > victims[j].backlog() })
 	if len(victims) > maxShedPerSample {
 		victims = victims[:maxShedPerSample]
 	}
 	for _, s := range victims {
 		b.gov.NoteShedEviction()
 		b.met.Counter("broker.shed_evictions").Inc()
+		s.sh.shedC.Inc()
 		b.evictSub(s, codec.CloseOverload, "overload shed: memory pressure critical")
 	}
 }
@@ -583,9 +641,11 @@ func (b *Broker) Decisions() *obs.DecisionLog { return b.cfg.Trace }
 
 // Subscribers reports the number of live subscriber connections.
 func (b *Broker) Subscribers() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.subs)
+	n := 0
+	for _, sh := range b.shards.shards {
+		n += sh.subscribers()
+	}
+	return n
 }
 
 // Publish submits one event to the named channel from inside the process.
@@ -874,6 +934,7 @@ type subscriber struct {
 	engine  *core.Engine // selection + per-path telemetry; never encodes
 	member  *encplane.Member
 	st      *channelState
+	sh      *shard // home shard: registry slot + per-shard shed/breaker accounting
 
 	queue  chan encplane.Delivery
 	replay []ringEntry   // resume backlog, sent before any live delivery
@@ -903,6 +964,12 @@ type subscriber struct {
 	curPlacement selector.Placement // current class placement (write-loop only)
 	lastDec      selector.Decision  // decision that chose curMethod, for traces
 	blocks       int                // ordinal of the next block, for trace records
+	batchScratch []encplane.Delivery // write-loop scratch for vectored batches
+	// inflight counts frames collected into an in-progress batch write.
+	// They are off the queue but not yet on the wire, so backlog-depth
+	// readers (shedding) must add them back or a stalled subscriber hiding
+	// a full batch behind a blocked write looks nearly idle.
+	inflight atomic.Int32
 
 	bytesIn   *metrics.Counter
 	bytesOut  *metrics.Counter
@@ -971,35 +1038,60 @@ func (b *Broker) addSubscriber(conn net.Conn, channel string, pl selector.Placem
 
 	st := b.state(channel)
 	s.st = st
+	s.sh = st.shard
 	st.mu.Lock()
 	var firstSeq uint64
 	if resume {
 		s.replay, firstSeq = st.ring.replayFrom(lastSeq)
 		b.noteResume(s, lastSeq, firstSeq, len(s.replay))
 	}
-	// Join the encode plane while still holding the channel lock: publishes
-	// are blocked, so the first live delivery is exactly the first block
-	// after the snapshot; blocks submitted earlier but still in flight on
-	// the plane predate the join and (for resumes) sit in the replay
-	// snapshot instead. The membership must exist before s is published in
-	// b.subs (teardown leaves it unconditionally). The initial class is
-	// (None, decided placement): unmeasured paths start raw, and adapt
-	// migrates both dimensions from the first delivery on.
+	// The plane join runs as a task on the channel's home event loop,
+	// enqueued while the channel lock is still held: publishes already
+	// stamped (and, for resumes, captured in the replay snapshot) have
+	// their fan-out tasks ahead of the join in the shard FIFO, so they
+	// cannot reach the new member; publishes stamped after the lock drops
+	// enqueue behind the join and arrive live. That splits the stream
+	// exactly — every block is replayed or delivered live, never both,
+	// never neither — without holding the lock across the join itself.
+	// The initial class is (None, decided placement): unmeasured paths
+	// start raw, and adapt migrates both dimensions from the first
+	// delivery on.
 	s.curPlacement = engine.Placement().Decide(selector.Inputs{})
-	s.member = st.plane.JoinPlaced(codec.None, s.curPlacement, func(d encplane.Delivery) bool {
-		return s.deliver(b, d)
+	joined := make(chan struct{})
+	ok := st.shard.do(func() {
+		s.member = st.plane.JoinPlaced(codec.None, s.curPlacement, func(d encplane.Delivery) bool {
+			return s.deliver(b, d)
+		})
+		close(joined)
 	})
+	st.mu.Unlock()
+	if !ok {
+		return nil, 0, ErrClosed
+	}
+	<-joined
+	// Registration is ordered against Shutdown via b.mu: once closed is
+	// set, Shutdown snapshots the shard registries, so a session that lost
+	// the race backs out (leaving the membership) instead of registering a
+	// subscriber nobody will ever drain. The dead re-check under qmu closes
+	// the other race: deliveries start the moment the join task runs, so a
+	// queue-overflow eviction can tear the session down before this point —
+	// registering it afterwards would leak a registry slot forever.
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		st.mu.Unlock()
 		s.member.Leave()
 		return nil, 0, ErrClosed
 	}
-	b.subs[id] = s
-	b.mu.Unlock()
-	st.mu.Unlock()
+	s.qmu.Lock()
+	if s.dead {
+		s.qmu.Unlock()
+		b.mu.Unlock()
+		return nil, 0, errors.New("broker: subscriber evicted during handshake")
+	}
+	s.sh.register(s)
 	b.met.Gauge("broker.subscribers").Add(1)
+	s.qmu.Unlock()
+	b.mu.Unlock()
 	return s, firstSeq, nil
 }
 
@@ -1091,6 +1183,12 @@ func (s *subscriber) deliver(b *Broker, d encplane.Delivery) bool {
 	return false
 }
 
+// backlog is the shedding view of this subscriber's depth: frames still
+// queued plus those already collected into an in-progress batch write.
+func (s *subscriber) backlog() int {
+	return len(s.queue) + int(s.inflight.Load())
+}
+
 // noteDepth refreshes the queue-depth gauge and its high-water mark.
 func (s *subscriber) noteDepth() {
 	d := int64(len(s.queue))
@@ -1139,7 +1237,7 @@ func (s *subscriber) run(b *Broker) {
 			for {
 				select {
 				case d := <-s.queue:
-					if !s.sendLive(b, d) {
+					if !s.sendBatch(b, s.collectBatch(d)) {
 						return
 					}
 				default:
@@ -1147,8 +1245,9 @@ func (s *subscriber) run(b *Broker) {
 				}
 			}
 		case d := <-s.queue:
+			batch := s.collectBatch(d)
 			s.depth.Set(int64(len(s.queue)))
-			if !s.sendLive(b, d) {
+			if !s.sendBatch(b, batch) {
 				return
 			}
 		case <-hb:
@@ -1164,87 +1263,144 @@ func (s *subscriber) run(b *Broker) {
 	}
 }
 
-// sendLive writes one shared frame and releases its reference. Selection
-// runs at dequeue, with this block's shared probe and the path's live
-// goodput — the same instant a per-subscriber encode loop would decide — so
-// adaptation never lags behind a queue backlog. When the decision differs
-// from the class the frame was encoded for at publish time, the frame is
-// swapped through the shared (seq, method) cache: however many subscribers
-// migrated the same way, the block is re-encoded at most once. It reports
-// false on write failure — the caller tears down.
-func (s *subscriber) sendLive(b *Broker, d encplane.Delivery) bool {
-	f := d.Frame
-	defer func() { f.Release() }()
-	if d.Frame.FirstWait() {
-		// Queue wait is attributed once per class (first dequeuer), so the
-		// histogram measures distinct frames, not fan-out width.
-		s.queueWait.Observe(time.Since(d.At).Seconds())
-	}
-	if b.cfg.BreakerWait > 0 && s.checkBreaker(b, time.Since(d.At)) {
-		return false
-	}
-	tr := b.cfg.Tracer
-	if tr != nil && d.TC.Valid() {
-		tr.Record(tracing.Span{
-			Trace:      d.TC.Trace,
-			Seq:        f.Seq(),
-			Stream:     fmt.Sprintf("sub.%d", s.id),
-			Stage:      tracing.StageQueue,
-			Start:      d.At.UnixNano(),
-			Dur:        time.Since(d.At).Nanoseconds(),
-			OriginWall: d.TC.WallNs,
-		})
-	}
-	if s.adapt(len(d.Data), d.Probe) && tr != nil {
-		// Class migrations are always-on traced: they are exactly the
-		// adaptation events the paper's Figure 8 plots.
-		tr.Record(tracing.Span{
-			Trace:      d.TC.Trace,
-			Seq:        f.Seq(),
-			Stream:     fmt.Sprintf("sub.%d", s.id),
-			Stage:      tracing.StageMigrate,
-			Start:      time.Now().UnixNano(),
-			OriginWall: d.TC.WallNs,
-			Method:     s.curMethod.String(),
-			Placement:  s.curPlacement.String(),
-			Anomaly:    true,
-		})
-	}
-	if f.RequestedMethod() != s.curMethod {
-		nf, err := s.st.plane.EncodeCached(d.Data, f.Seq(), s.curMethod, d.Anno)
-		if err != nil {
-			// Fall back to the delivered frame: stale method, correct bytes.
-			b.logf("broker: subscriber %d re-encode: %v", s.id, err)
-		} else {
-			f.Release()
-			f = nf
+// maxBatchFrames bounds one vectored write: enough frames to amortize the
+// syscall and write-lock cost across a burst, few enough that queue-wait
+// attribution and the breaker stay per-delivery accurate.
+const maxBatchFrames = 32
+
+// collectBatch starts a batch with first and greedily takes whatever else
+// is already queued, up to maxBatchFrames. It never blocks: batching only
+// coalesces backlog that has already accumulated — a quiet stream keeps
+// its one-frame latency.
+func (s *subscriber) collectBatch(first encplane.Delivery) []encplane.Delivery {
+	batch := append(s.batchScratch[:0], first)
+	for len(batch) < maxBatchFrames {
+		select {
+		case d := <-s.queue:
+			batch = append(batch, d)
+		default:
+			s.batchScratch = batch
+			return batch
 		}
 	}
-	frame := f.Bytes()
+	s.batchScratch = batch
+	return batch
+}
+
+// sendBatch writes a run of queued deliveries as one vectored write
+// (net.Buffers, writev on TCP-backed conns), releasing every frame
+// reference exactly once. All per-delivery work is unchanged from the
+// one-frame path — queue wait is attributed once per class (first
+// dequeuer, so the histogram measures distinct frames, not fan-out
+// width), the slow-consumer breaker runs per delivery, and selection runs
+// at dequeue with this block's shared probe and the path's live goodput,
+// the same instant a per-subscriber encode loop would decide. When a
+// decision differs from the class a frame was encoded for at publish
+// time, the frame is swapped through the shared (seq, method) cache:
+// however many subscribers migrated the same way, the block is re-encoded
+// at most once. Only the wire write is coalesced; its measured duration
+// is attributed evenly across the batch for spans and the goodput
+// monitor. It reports false when the subscriber was torn down (breaker
+// trip or write failure).
+func (s *subscriber) sendBatch(b *Broker, batch []encplane.Delivery) bool {
+	s.inflight.Store(int32(len(batch)))
+	defer s.inflight.Store(0)
+	tr := b.cfg.Tracer
+	frames := make([]*encplane.Frame, 0, len(batch))
+	bufs := make(net.Buffers, 0, len(batch))
+	for i, d := range batch {
+		f := d.Frame
+		if f.FirstWait() {
+			s.queueWait.Observe(time.Since(d.At).Seconds())
+		}
+		if b.cfg.BreakerWait > 0 && s.checkBreaker(b, time.Since(d.At)) {
+			// removeSub drained the queue, but the deliveries in our hands
+			// are already off-queue and still hold their references.
+			for _, pf := range frames {
+				pf.Release()
+			}
+			for _, rest := range batch[i:] {
+				rest.Frame.Release()
+			}
+			return false
+		}
+		if tr != nil && d.TC.Valid() {
+			tr.Record(tracing.Span{
+				Trace:      d.TC.Trace,
+				Seq:        f.Seq(),
+				Stream:     fmt.Sprintf("sub.%d", s.id),
+				Stage:      tracing.StageQueue,
+				Start:      d.At.UnixNano(),
+				Dur:        time.Since(d.At).Nanoseconds(),
+				OriginWall: d.TC.WallNs,
+			})
+		}
+		if s.adapt(len(d.Data), d.Probe) && tr != nil {
+			// Class migrations are always-on traced: they are exactly the
+			// adaptation events the paper's Figure 8 plots.
+			tr.Record(tracing.Span{
+				Trace:      d.TC.Trace,
+				Seq:        f.Seq(),
+				Stream:     fmt.Sprintf("sub.%d", s.id),
+				Stage:      tracing.StageMigrate,
+				Start:      time.Now().UnixNano(),
+				OriginWall: d.TC.WallNs,
+				Method:     s.curMethod.String(),
+				Placement:  s.curPlacement.String(),
+				Anomaly:    true,
+			})
+		}
+		if f.RequestedMethod() != s.curMethod {
+			nf, err := s.st.plane.EncodeCached(d.Data, f.Seq(), s.curMethod, d.Anno)
+			if err != nil {
+				// Fall back to the delivered frame: stale method, correct bytes.
+				b.logf("broker: subscriber %d re-encode: %v", s.id, err)
+			} else {
+				f.Release()
+				f = nf
+			}
+		}
+		bufs = append(bufs, f.Bytes())
+		frames = append(frames, f)
+	}
 	start := time.Now()
 	s.wmu.Lock()
-	_, err := s.wc.Write(frame)
+	_, err := netutil.WriteBuffers(s.wc, &bufs)
 	s.wmu.Unlock()
+	batchDur := time.Since(start)
 	if err != nil {
+		for _, f := range frames {
+			f.Release()
+		}
 		b.logf("broker: subscriber %d write: %v", s.id, err)
 		b.removeSub(s, true, "write failed or timed out")
 		return false
 	}
-	if tr != nil && d.TC.Valid() {
-		tr.Record(tracing.Span{
-			Trace:      d.TC.Trace,
-			Seq:        f.Seq(),
-			Stream:     fmt.Sprintf("sub.%d", s.id),
-			Stage:      tracing.StageWrite,
-			Start:      start.UnixNano(),
-			Dur:        time.Since(start).Nanoseconds(),
-			OriginWall: d.TC.WallNs,
-			Method:     f.Info().Method.String(),
-			Placement:  s.curPlacement.String(),
-			Bytes:      len(frame),
-		})
+	if len(frames) > 1 {
+		b.met.Counter("broker.writev_batches").Inc()
+		b.met.Counter("broker.writev_frames").Add(int64(len(frames)))
 	}
-	s.observeBlock(b, f.Info(), time.Since(start), len(frame), len(d.Data))
+	share := batchDur / time.Duration(len(frames))
+	for k, f := range frames {
+		d := batch[k]
+		wire := len(f.Bytes())
+		if tr != nil && d.TC.Valid() {
+			tr.Record(tracing.Span{
+				Trace:      d.TC.Trace,
+				Seq:        f.Seq(),
+				Stream:     fmt.Sprintf("sub.%d", s.id),
+				Stage:      tracing.StageWrite,
+				Start:      start.Add(time.Duration(k) * share).UnixNano(),
+				Dur:        share.Nanoseconds(),
+				OriginWall: d.TC.WallNs,
+				Method:     f.Info().Method.String(),
+				Placement:  s.curPlacement.String(),
+				Bytes:      wire,
+			})
+		}
+		s.observeBlock(b, f.Info(), share, wire, len(d.Data))
+		f.Release()
+	}
 	return true
 }
 
@@ -1351,6 +1507,7 @@ func (s *subscriber) checkBreaker(b *Broker, wait time.Duration) bool {
 		return false
 	}
 	b.met.Counter("broker.breaker_trips").Inc()
+	s.sh.breakerC.Inc()
 	if b.gov != nil {
 		b.gov.NoteBreakerTrip()
 	}
@@ -1459,10 +1616,12 @@ func (b *Broker) removeSub(s *subscriber, evicted bool, reason string) {
 			}
 			break
 		}
-		b.mu.Lock()
-		delete(b.subs, s.id)
-		b.mu.Unlock()
-		b.met.Gauge("broker.subscribers").Add(-1)
+		// The registry slot and gauge move together: a session evicted
+		// before registration completed (deregister reports false) was
+		// never counted.
+		if s.sh.deregister(s.id) {
+			b.met.Gauge("broker.subscribers").Add(-1)
+		}
 		if evicted {
 			b.met.Counter("broker.evictions").Inc()
 		}
@@ -1505,18 +1664,17 @@ func (b *Broker) Shutdown(ctx context.Context) error {
 		b.mu.Unlock()
 	}
 
+	// Drain the channel event loops: every stamped block's fan-out task
+	// (plane publish + echo submit) runs before the plane flush below, so
+	// no submitted event is lost in a shard queue.
+	b.shards.close()
+
 	// Flush the encode plane: every submitted block is encoded and lands in
 	// its class queues before the subscriber drain below starts.
 	_ = b.plane.Close()
 
 	// Ask every subscriber's write loop to flush its queue and hang up.
-	b.mu.Lock()
-	subs := make([]*subscriber, 0, len(b.subs))
-	for _, s := range b.subs {
-		subs = append(subs, s)
-	}
-	b.mu.Unlock()
-	for _, s := range subs {
+	for _, s := range b.allSubs() {
 		close(s.drain)
 	}
 
@@ -1525,10 +1683,10 @@ func (b *Broker) Shutdown(ctx context.Context) error {
 	}
 	// Deadline passed: sever whatever is still blocked (e.g. a stalled
 	// subscriber with no write timeout) and report the truncation.
-	b.mu.Lock()
-	for _, s := range b.subs {
+	for _, s := range b.allSubs() {
 		s.conn.Close()
 	}
+	b.mu.Lock()
 	for conn := range b.pubs {
 		conn.Close()
 	}

@@ -14,6 +14,7 @@ import (
 	"ccx/internal/codec"
 	"ccx/internal/core"
 	"ccx/internal/governor"
+	"ccx/internal/testx"
 )
 
 // readUntilError drains a subscriber connection through the client-side
@@ -62,12 +63,10 @@ func TestEvictionReasonSurfacesToClient(t *testing.T) {
 	}
 	time.Sleep(50 * time.Millisecond)
 
-	b.mu.Lock()
 	var s *subscriber
-	for _, x := range b.subs {
+	for _, x := range b.allSubs() {
 		s = x
 	}
-	b.mu.Unlock()
 	if s == nil {
 		t.Fatal("no subscriber registered")
 	}
@@ -282,7 +281,7 @@ func TestChurnStormExactAccounting(t *testing.T) {
 	close(stop)
 	pubWG.Wait()
 	readers.Wait()
-	waitUntil(t, "all churned subscribers torn down", func() bool { return b.Subscribers() == 0 })
+	testx.WaitUntil(t, "all churned subscribers torn down", func() bool { return b.Subscribers() == 0 })
 
 	st := b.state("md")
 	st.mu.Lock()
@@ -308,9 +307,7 @@ func TestChurnStormExactAccounting(t *testing.T) {
 	if err := b.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
-	if n := b.plane.LiveFrames(); n != 0 {
-		t.Fatalf("LiveFrames = %d after churn + shutdown, want 0", n)
-	}
+	testx.NoLeakedFrames(t, b.plane)
 	if n := b.plane.LiveBytes(); n != 0 {
 		t.Fatalf("LiveBytes = %d after churn + shutdown, want 0", n)
 	}

@@ -2,19 +2,16 @@ package broker
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
-	"math/rand"
 	"net"
 	"os"
-	"runtime"
 	"strconv"
 	"testing"
 	"time"
 
 	"ccx/internal/codec"
 	"ccx/internal/governor"
-	"ccx/internal/metrics"
+	"ccx/internal/testx"
 )
 
 // soakSubscribers is the swarm size for the overload soak; CCX_SOAK_SUBS
@@ -46,7 +43,7 @@ func soakSubscribers(t *testing.T) int {
 // stands in for one governor interval.
 func TestSoakOverloadGovernor(t *testing.T) {
 	subs := soakSubscribers(t)
-	baseline := runtime.NumGoroutine()
+	guard := testx.GoroutineGuard(t, 10)
 
 	const budget = 2 << 20
 	b := newTestBroker(t, func(c *Config) {
@@ -83,7 +80,7 @@ func TestSoakOverloadGovernor(t *testing.T) {
 
 	// Phase 2: drive past the budget. Incompressible 64 KiB blocks pin
 	// shared frames in every stalled queue and fill the replay ring.
-	rng := rand.New(rand.NewSource(1))
+	rng := testx.Rand(t)
 	block := make([]byte, 64<<10)
 	for i := 0; i < 40; i++ {
 		rng.Read(block)
@@ -91,7 +88,7 @@ func TestSoakOverloadGovernor(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	waitUntil(t, "queued bytes past the critical fraction", func() bool {
+	testx.WaitUntil(t, "queued bytes past the critical fraction", func() bool {
 		return b.queuedBytes() >= budget*9/10
 	})
 
@@ -150,7 +147,7 @@ func TestSoakOverloadGovernor(t *testing.T) {
 	// ok-level down threshold (ElevatedFrac × DownFrac = 0.585 of budget),
 	// not merely under the budget — the recovery phase asserts the very
 	// next sample steps to ok.
-	waitUntil(t, "queued bytes back under the ok threshold", func() bool {
+	testx.WaitUntil(t, "queued bytes back under the ok threshold", func() bool {
 		return b.queuedBytes() <= budget*117/200
 	})
 
@@ -176,7 +173,7 @@ func TestSoakOverloadGovernor(t *testing.T) {
 	// Admission is open again.
 	conn := attachSubscriber(t, b, "md")
 	conn.Close()
-	waitUntil(t, "recovery subscriber torn down", func() bool { return b.Subscribers() == 0 })
+	testx.WaitUntil(t, "recovery subscriber torn down", func() bool { return b.Subscribers() == 0 })
 
 	// Phase 6: teardown proves nothing leaked — no goroutines beyond the
 	// baseline, no live shared-frame references once the cache is purged.
@@ -189,32 +186,8 @@ func TestSoakOverloadGovernor(t *testing.T) {
 	if err := b.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
-	if n := b.plane.LiveFrames(); n != 0 {
-		t.Fatalf("LiveFrames = %d after soak, want 0", n)
-	}
-	waitUntil(t, "goroutines back to baseline", func() bool {
-		return runtime.NumGoroutine() <= baseline+10
-	})
+	testx.NoLeakedFrames(t, b.plane)
+	guard()
 
-	dumpSoakMetrics(t, met)
-}
-
-// dumpSoakMetrics appends the soak's final metrics snapshot — the whole
-// governor.* family plus the broker overload counters — as one labeled
-// JSON line to $CCX_METRICS_OUT. The CI soak-smoke job uploads the file
-// as a build artifact; locally the variable is unset and this is a no-op.
-func dumpSoakMetrics(t *testing.T, met *metrics.Registry) {
-	path := os.Getenv("CCX_METRICS_OUT")
-	if path == "" {
-		return
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
-	if err != nil {
-		t.Fatalf("CCX_METRICS_OUT: %v", err)
-	}
-	defer f.Close()
-	line := map[string]any{"case": "overload-soak", "metrics": met.Snapshot()}
-	if err := json.NewEncoder(f).Encode(line); err != nil {
-		t.Fatalf("CCX_METRICS_OUT: %v", err)
-	}
+	testx.DumpMetrics(t, "overload-soak", met)
 }

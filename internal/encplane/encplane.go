@@ -110,6 +110,7 @@ type Plane struct {
 	evictions    *metrics.Counter
 	migrations   *metrics.Counter
 	errors       *metrics.Counter
+	rawFast      *metrics.Counter
 	framesLive   *metrics.Gauge
 	encLat       *metrics.Histogram
 
@@ -164,6 +165,7 @@ func New(cfg Config) (*Plane, error) {
 		evictions:  met.Counter("encplane.cache_evictions"),
 		migrations: met.Counter("encplane.migrations"),
 		errors:     met.Counter("encplane.errors"),
+		rawFast:    met.Counter("encplane.raw_fastpath"),
 		framesLive: met.Gauge("encplane.frames_live"),
 		encLat:     met.Histogram("encplane.encode_seconds", metrics.LatencyBuckets),
 
@@ -309,6 +311,14 @@ type Channel struct {
 	pendMu   sync.Mutex
 	pending  []pendingJob
 	inflight *Frame // set by send, consumed by onBlock; sequencer-local
+
+	// jobs counts pipeline encode jobs submitted but not yet fanned out —
+	// incremented per submission, decremented on the sequencer only after
+	// every class delivery for the job has been offered. It fences the raw
+	// fast path: publishRaw may bypass the pipeline only when jobs == 0,
+	// because only then is "deliver now" guaranteed to land after every
+	// earlier block in every member queue.
+	jobs atomic.Int64
 
 	liveBytes    atomic.Int64
 	classesGauge *metrics.Gauge // chan.<name>.classes
@@ -535,17 +545,38 @@ func (c *Channel) PublishAnno(data []byte, seq uint64, anno []byte) {
 		c.mu.Unlock()
 		return
 	}
+	// rawOnly: every member sits in the (None, receiver) class — the whole
+	// channel ships raw frames for downstream compression, so the encode
+	// pipeline would add a hop (copy into scratch, sequencer handoff) for
+	// an encode that is pure framing.
+	rawOnly := true
 	classes := make(map[codec.Method][]jobMember, 4)
 	for m := range c.members {
+		if m.method != codec.None || m.placement != selector.PlacementReceiver {
+			rawOnly = false
+		}
 		classes[m.method] = append(classes[m.method], jobMember{m, m.placement})
 	}
 	c.mu.Unlock()
 
+	// The probe still runs on the fast path: auto-placement members that
+	// currently sit offloaded need it at dequeue to decide a flip back.
 	probe := c.ProbeFor(data, seq)
 	at := time.Now()
 	var tc tracing.Context
 	if len(anno) > 0 {
 		tc = tracing.ParseAnno(anno)
+	}
+
+	if rawOnly && c.jobs.Load() == 0 {
+		// Receiver-raw fast path: frame inline and deliver synchronously,
+		// skipping the encode shard entirely. jobs == 0 guarantees every
+		// earlier pipeline block already reached the member queues, so
+		// per-member sequence order survives the bypass; the caller
+		// serializes publishes per channel, so later pipeline submissions
+		// sequence after this delivery too.
+		c.publishRaw(data, seq, anno, classes[codec.None], probe, at, tc)
+		return
 	}
 
 	c.pipeMu.Lock()
@@ -558,8 +589,10 @@ func (c *Channel) PublishAnno(data []byte, seq uint64, anno []byte) {
 			seq: seq, method: method, members: members,
 			data: data, probe: probe, at: at, anno: anno, tc: tc,
 		})
+		c.jobs.Add(1)
 		if err := c.pipe.SubmitMethodAnno(data, method, seq, anno, tc); err != nil {
 			c.popPendingTail()
+			c.jobs.Add(-1)
 			c.p.errors.Inc()
 			c.p.logf("encplane: %s: submit %s: %v", c.name, method, err)
 			return
@@ -567,9 +600,85 @@ func (c *Channel) PublishAnno(data []byte, seq uint64, anno []byte) {
 	}
 }
 
+// publishRaw is the receiver-raw fast path: build the None frame on the
+// publishing goroutine and offer it to every (None, receiver) member
+// immediately — no pipeline submit, no sequencer handoff, no extra copy.
+// The frame still lands in the cache, so resume replays hit it exactly as
+// they would a pipeline-encoded frame. Holding pipeMu keeps the bypass
+// ordered against close (close purges the cache after we park the frame).
+func (c *Channel) publishRaw(data []byte, seq uint64, anno []byte, members []jobMember, probe sampling.ProbeResult, at time.Time, tc tracing.Context) {
+	c.pipeMu.Lock()
+	defer c.pipeMu.Unlock()
+	if c.pipeClosed {
+		return
+	}
+	bufp := c.p.bufs.Get().(*[]byte)
+	frame, info, err := codec.AppendFrameOpts((*bufp)[:0], c.p.reg, codec.None, data, codec.FrameOpts{Seq: seq, HasSeq: true, Anno: anno})
+	if err != nil {
+		c.p.bufs.Put(bufp)
+		c.p.errors.Inc()
+		c.p.logf("encplane: %s: raw frame: %v", c.name, err)
+		return
+	}
+	*bufp = frame
+	f := c.newFrame(bufp, frame, seq, codec.None, info)
+	c.p.encodes.Inc()
+	c.p.misses.Inc()
+	c.p.encBytes.Add(int64(len(frame)))
+	c.p.rawFast.Inc()
+
+	delivered := 0
+	for _, jm := range members {
+		f.Retain()
+		if jm.mb.deliver(Delivery{Frame: f, Data: data, Probe: probe, At: at, Anno: anno, TC: tc}) {
+			delivered++
+		} else {
+			f.Release()
+		}
+	}
+	c.p.deliveries.Add(int64(delivered))
+	if delivered > 0 {
+		c.p.placementDel[selector.PlacementReceiver].Add(int64(delivered))
+	}
+	if tr := c.p.tracer; tr != nil && tc.Valid() {
+		tr.Record(tracing.Span{
+			Trace:      tc.Trace,
+			Seq:        seq,
+			Stream:     "encplane",
+			Stage:      tracing.StageEncode,
+			Start:      time.Now().UnixNano(),
+			OriginWall: tc.WallNs,
+			Method:     info.Method.String(),
+			Class:      c.name + "/" + codec.None.String(),
+			Bytes:      len(frame),
+		})
+	}
+	if c.p.trace != nil {
+		c.p.trace.Add(obs.Record{
+			Stream:    "encplane",
+			Block:     int(seq),
+			BlockLen:  len(data),
+			Method:    info.Method.String(),
+			Placement: selector.PlacementReceiver.String(),
+			Reason:    fmt.Sprintf("raw fan-out for %d subscriber(s) (fast path, encode shard skipped)", len(members)),
+			WireBytes: len(frame),
+			Ratio:     info.Ratio(),
+			FrameSeq:  seq,
+			Class:     c.name + "/" + codec.None.String(),
+			ClassSubs: len(members),
+			Workers:   1,
+			Trace:     tc.Trace,
+		})
+	}
+	c.putCache(f) // transfers the creator reference
+}
+
 // fanOut runs on the pipeline sequencer: account the fresh frame, deliver
 // it to every class member, and park it in the cache for resume replays.
+// The jobs decrement comes last — only once every delivery has been
+// offered may the raw fast path consider the pipeline quiescent.
 func (c *Channel) fanOut(f *Frame, job pendingJob, r core.BlockResult) {
+	defer c.jobs.Add(-1)
 	c.p.encodes.Inc()
 	c.p.misses.Inc()
 	c.p.encBytes.Add(int64(f.Len()))
@@ -706,6 +815,12 @@ func (c *Channel) EncodeCached(data []byte, seq uint64, m codec.Method, anno []b
 	c.putCache(f) // transfers the creator reference
 	return f, nil
 }
+
+// LiveBytes reports this channel's live shared-frame wire bytes. Frame
+// accounting updates the channel and plane totals together (noteBytes), so
+// per-channel values summed across channels equal Plane.LiveBytes exactly —
+// the property the broker's per-shard governor ledgers rest on.
+func (c *Channel) LiveBytes() int64 { return c.liveBytes.Load() }
 
 // ProbeFor returns the block's sampling probe, computing and caching it on
 // first use so one probe serves every class and every replay of the block.

@@ -10,6 +10,7 @@ import (
 	"ccx/internal/codec"
 	"ccx/internal/core"
 	"ccx/internal/metrics"
+	"ccx/internal/selector"
 )
 
 var allMethods = []codec.Method{
@@ -155,6 +156,112 @@ func TestEncodeCachedIdentityAndDedup(t *testing.T) {
 	}
 	if got := met.Counter("encplane.cache_hits").Value(); got != int64(len(allMethods)) {
 		t.Fatalf("cache_hits = %d, want %d", got, len(allMethods))
+	}
+}
+
+// TestRawFastPathByteIdentity proves the receiver-raw bypass is
+// indistinguishable on the wire: when every member sits in the (None,
+// receiver) class, publishes skip the encode pipeline entirely
+// (encplane.raw_fastpath counts them) yet deliver frames byte-identical to
+// a direct encode, in publish order, with the frame parked in the cache
+// for resume replays — and per-channel LiveBytes still sums to the
+// plane-wide total.
+func TestRawFastPathByteIdentity(t *testing.T) {
+	reg := codec.NewRegistry()
+	p, met := newTestPlane(t, func(c *Config) { c.Engine = core.Config{Registry: reg} })
+	ch := p.Channel("md")
+	const n = 20
+	colA := newCollector(n + 1)
+	colB := newCollector(n + 1)
+	ma := ch.JoinPlaced(codec.None, selector.PlacementReceiver, colA.deliver)
+	mb := ch.JoinPlaced(codec.None, selector.PlacementReceiver, colB.deliver)
+
+	data := bytes.Repeat([]byte("raw fan-out "), 200)
+	for seq := uint64(1); seq <= n; seq++ {
+		ch.Publish(data, seq)
+	}
+	if got := met.Counter("encplane.raw_fastpath").Value(); got != n {
+		t.Fatalf("raw_fastpath = %d, want %d (every publish should bypass the pipeline)", got, n)
+	}
+	if got := ch.LiveBytes(); got != p.LiveBytes() {
+		t.Fatalf("channel LiveBytes %d != plane LiveBytes %d with one live channel", got, p.LiveBytes())
+	}
+
+	// A resume replay of a fast-path block must hit the cache, not encode.
+	hits := met.Counter("encplane.cache_hits").Value()
+	f, err := ch.EncodeCached(data, 1, codec.None, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+	if got := met.Counter("encplane.cache_hits").Value(); got != hits+1 {
+		t.Fatal("fast-path frame not served from the cache on replay")
+	}
+
+	for _, col := range []*collector{colA, colB} {
+		frames, seqs := col.stop()
+		if len(frames) != n {
+			t.Fatalf("delivered %d frames, want %d", len(frames), n)
+		}
+		want, _, err := codec.AppendFrameSeq(nil, reg, codec.None, data, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, fb := range frames {
+			if seqs[i] != uint64(i+1) {
+				t.Fatalf("seqs[%d] = %d: fast path broke publish order", i, seqs[i])
+			}
+			want, _, _ = codec.AppendFrameSeq(want[:0], reg, codec.None, data, seqs[i])
+			if !bytes.Equal(fb, want) {
+				t.Fatalf("block %d: fast-path frame differs from direct encode", i)
+			}
+		}
+	}
+	ma.Leave()
+	mb.Leave()
+}
+
+// TestRawFastPathRequiresUniformReceiverClass pins the gate: one member
+// outside (None, receiver) — wrong method or wrong placement — forces every
+// publish back through the pipeline, and per-member sequence streams stay
+// monotonic when membership flips the channel between the two modes.
+func TestRawFastPathRequiresUniformReceiverClass(t *testing.T) {
+	p, met := newTestPlane(t, nil)
+	ch := p.Channel("md")
+	const n = 60
+	col := newCollector(2*n + 1)
+	mb := ch.JoinPlaced(codec.None, selector.PlacementReceiver, col.deliver)
+	other := ch.JoinPlaced(codec.Huffman, selector.PlacementReceiver, func(Delivery) bool { return false })
+
+	data := bytes.Repeat([]byte("mode flip "), 100)
+	seq := uint64(0)
+	for i := 0; i < n; i++ {
+		seq++
+		ch.Publish(data, seq)
+	}
+	if got := met.Counter("encplane.raw_fastpath").Value(); got != 0 {
+		t.Fatalf("raw_fastpath = %d with a Huffman member attached, want 0", got)
+	}
+
+	// Drop the non-raw member: publishes may now switch to the fast path,
+	// but only after the pipeline's in-flight jobs drain — order holds.
+	other.Leave()
+	for i := 0; i < n; i++ {
+		seq++
+		ch.Publish(data, seq)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, seqs := col.stop()
+	mb.Leave()
+	if len(seqs) != 2*n {
+		t.Fatalf("delivered %d blocks, want %d", len(seqs), 2*n)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("seqs[%d] = %d: ordering broke across the pipeline/fast-path transition", i, s)
+		}
 	}
 }
 

@@ -122,6 +122,17 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	return s.Bounds[len(s.Bounds)-1]
 }
 
+// Swarm metric names, shared between cmd/ccswarm and the manifest golden.
+// The harness registers its publish→decode latency histogram on the
+// broker's own registry under SwarmLatencyName and computes the report's
+// percentiles from that same histogram, so swarm.json and a /metrics
+// scrape can never disagree beyond bucket resolution.
+const (
+	SwarmLatencyName     = "swarm.latency_seconds"
+	SwarmSubscribersName = "swarm.subscribers"
+	SwarmDeliveredName   = "swarm.delivered_blocks"
+)
+
 // Shared bucket layouts for the repo's standard views. Exported so tests
 // and renderers agree with instrumented code on the exact bounds.
 var (

@@ -5,6 +5,7 @@
 package netutil
 
 import (
+	"io"
 	"net"
 	"time"
 )
@@ -53,4 +54,45 @@ func (c *deadlineConn) Write(p []byte) (int, error) {
 		}
 	}
 	return c.Conn.Write(p)
+}
+
+// BuffersWriter is implemented by writers with their own batch-write
+// strategy — the deadlineConn wrapper, whose vectored path must keep the
+// rolling per-operation write timeout.
+type BuffersWriter interface {
+	WriteBuffers(bufs *net.Buffers) (int64, error)
+}
+
+// WriteBuffers writes the batch one buffer at a time, re-arming the rolling
+// write deadline before each. The timeout is a per-operation stall bound —
+// a slow-but-moving peer taking several timeouts' worth of wall clock for a
+// large batch is healthy, a peer stalling one buffer for the full timeout
+// is dead — so a single deadline arm across the whole batch would turn
+// batching into spurious evictions on slow links. The cost is one syscall
+// per buffer on deadline-wrapped conns; conns without a write timeout keep
+// the single-writev path in the package-level WriteBuffers.
+func (c *deadlineConn) WriteBuffers(bufs *net.Buffers) (int64, error) {
+	var n int64
+	for _, p := range *bufs {
+		nn, err := c.Write(p)
+		n += int64(nn)
+		if err != nil {
+			*bufs = nil
+			return n, err
+		}
+	}
+	*bufs = nil
+	return n, nil
+}
+
+// WriteBuffers writes the batch through w with as few syscalls as the
+// transport allows: a BuffersWriter (deadline wrapper) or raw net.Conn gets
+// the vectored net.Buffers path (writev on TCP, sequential writes on
+// pipes — byte-identical either way); anything else falls back to one
+// Write per buffer. The buffers slice is consumed.
+func WriteBuffers(w io.Writer, bufs *net.Buffers) (int64, error) {
+	if bw, ok := w.(BuffersWriter); ok {
+		return bw.WriteBuffers(bufs)
+	}
+	return bufs.WriteTo(w)
 }

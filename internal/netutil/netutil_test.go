@@ -1,6 +1,8 @@
 package netutil
 
 import (
+	"bytes"
+	"io"
 	"net"
 	"testing"
 	"time"
@@ -42,6 +44,53 @@ func TestWriteTimesOutOnStalledPeer(t *testing.T) {
 	c := WithTimeouts(a, 0, 50*time.Millisecond)
 	// net.Pipe writes block until the peer reads; b never reads.
 	_, err := c.Write(make([]byte, 1))
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("want net.Error timeout, got %v", err)
+	}
+}
+
+func TestWriteBuffersConcatenatesInOrder(t *testing.T) {
+	var sink bytes.Buffer
+	bufs := net.Buffers{[]byte("one"), []byte("two"), []byte("three")}
+	n, err := WriteBuffers(&sink, &bufs)
+	if err != nil || n != 11 {
+		t.Fatalf("WriteBuffers = (%d, %v), want (11, nil)", n, err)
+	}
+	if got := sink.String(); got != "onetwothree" {
+		t.Fatalf("batched bytes = %q: vectored write must preserve frame order", got)
+	}
+}
+
+func TestWriteBuffersThroughDeadlineConn(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := WithTimeouts(a, 0, time.Second)
+	if _, ok := c.(BuffersWriter); !ok {
+		t.Fatal("deadline wrapper must expose the vectored-write path")
+	}
+	got := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(io.LimitReader(b, 6))
+		got <- data
+	}()
+	bufs := net.Buffers{[]byte("abc"), []byte("def")}
+	if n, err := WriteBuffers(c, &bufs); err != nil || n != 6 {
+		t.Fatalf("WriteBuffers = (%d, %v), want (6, nil)", n, err)
+	}
+	if data := <-got; string(data) != "abcdef" {
+		t.Fatalf("peer read %q, want abcdef", data)
+	}
+}
+
+func TestWriteBuffersTimesOutOnStalledPeer(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := WithTimeouts(a, 0, 50*time.Millisecond)
+	bufs := net.Buffers{make([]byte, 1)}
+	_, err := WriteBuffers(c, &bufs)
 	ne, ok := err.(net.Error)
 	if !ok || !ne.Timeout() {
 		t.Fatalf("want net.Error timeout, got %v", err)

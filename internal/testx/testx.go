@@ -1,0 +1,181 @@
+// Package testx is the repo's shared invariant-test harness. The
+// integration suites (fault matrix, placement equivalence, overload soak,
+// governor accounting, shard routing) all assert the same process-wide
+// invariants — no goroutine outlives its broker, no shared-frame reference
+// outlives the plane, delivered bytes match published bytes exactly — and
+// before this package each suite carried its own slightly-divergent copy
+// of those checks. Centralizing them means a new suite gets the full
+// invariant battery in four lines, and a strengthened check strengthens
+// every suite at once.
+package testx
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"ccx/internal/metrics"
+)
+
+// waitDeadline bounds every polling helper; CI machines under -race can be
+// slow, but anything past this is a hang, not a scheduler hiccup.
+const waitDeadline = 5 * time.Second
+
+// WaitUntil polls cond every 2ms until it holds, failing the test with
+// what's description after the deadline. It replaces the ad-hoc wait loops
+// the suites grew independently.
+func WaitUntil(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(waitDeadline)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// GoroutineGuard snapshots the goroutine count and returns a check that
+// waits (GC'ing between polls) for the count to return to the baseline
+// plus slack. Call the returned func after teardown; it fails the test
+// with the final count if goroutines leaked.
+//
+//	guard := testx.GoroutineGuard(t, 0)
+//	... run the scenario, shut everything down ...
+//	guard()
+func GoroutineGuard(t testing.TB, slack int) func() {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(waitDeadline)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= baseline+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("goroutine leak: %d live, baseline %d (+%d slack)", n, baseline, slack)
+			}
+			runtime.GC()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// FrameLeaker is anything that can report live shared-frame references —
+// the encode plane, or a broker exposing its plane's counter.
+type FrameLeaker interface {
+	LiveFrames() int64
+}
+
+// NoLeakedFrames asserts that p holds zero live shared-frame references,
+// waiting briefly first: frame releases ride teardown goroutines, so the
+// count may trail a Shutdown by a beat.
+func NoLeakedFrames(t testing.TB, p FrameLeaker) {
+	t.Helper()
+	deadline := time.Now().Add(waitDeadline)
+	for p.LiveFrames() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("LiveFrames = %d after teardown, want 0", p.LiveFrames())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// identityContext is how many bytes of hex context ByteIdentity prints on
+// each side of the first divergence.
+const identityContext = 16
+
+// ByteIdentity asserts got == want byte for byte. On mismatch it reports
+// the first divergence offset with hex context around it — enough to tell
+// a shifted stream from a corrupted one at a glance — instead of the bare
+// "bytes differ" the suites used to print.
+func ByteIdentity(t testing.TB, label string, got, want []byte) {
+	t.Helper()
+	if bytes.Equal(got, want) {
+		return
+	}
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	div := n // pure length mismatch: diverges where the shorter ends
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			div = i
+			break
+		}
+	}
+	lo := div - identityContext
+	if lo < 0 {
+		lo = 0
+	}
+	window := func(b []byte) string {
+		hi := div + identityContext
+		if hi > len(b) {
+			hi = len(b)
+		}
+		if lo >= len(b) {
+			return "(past end)"
+		}
+		return fmt.Sprintf("% x", b[lo:hi])
+	}
+	t.Fatalf("%s: byte identity broken at offset %d (got %d bytes, want %d)\n  got  [%d:]: %s\n  want [%d:]: %s",
+		label, div, len(got), len(want), lo, window(got), lo, window(want))
+}
+
+// Seed returns the test's deterministic RNG seed: CCX_SEED when set, 1
+// otherwise. The seed is logged on failure (via Cleanup), so a red run can
+// always be replayed exactly with CCX_SEED=<printed value>.
+func Seed(t testing.TB) int64 {
+	t.Helper()
+	seed := int64(1)
+	if s := os.Getenv("CCX_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CCX_SEED = %q: want an integer", s)
+		}
+		seed = v
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("replay with CCX_SEED=%d", seed)
+		}
+	})
+	return seed
+}
+
+// Rand returns a deterministic *rand.Rand seeded via Seed — every
+// randomized schedule in the suites flows from it, so one env var replays
+// any failure.
+func Rand(t testing.TB) *rand.Rand {
+	t.Helper()
+	return rand.New(rand.NewSource(Seed(t)))
+}
+
+// DumpMetrics appends one labeled JSON line holding the registry's full
+// snapshot to $CCX_METRICS_OUT. CI jobs upload the file as a build
+// artifact for diffing; locally the variable is unset and this is a no-op.
+func DumpMetrics(t testing.TB, caseName string, met *metrics.Registry) {
+	t.Helper()
+	path := os.Getenv("CCX_METRICS_OUT")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("CCX_METRICS_OUT: %v", err)
+	}
+	defer f.Close()
+	line := map[string]any{"case": caseName, "metrics": met.Snapshot()}
+	if err := json.NewEncoder(f).Encode(line); err != nil {
+		t.Fatalf("CCX_METRICS_OUT: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+package testx
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// fatalAbort unwinds a fakeTB.Fatalf the way testing.T.Fatalf stops a real
+// test, so helpers under test don't run past their failure point.
+type fatalAbort struct{}
+
+// fakeTB records Fatalf calls so the harness's failure paths are testable.
+type fakeTB struct {
+	testing.TB // panics on anything not overridden — good: nothing else should run
+	failed     bool
+	msg        string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.failed = true
+	f.msg = fmt.Sprintf(format, args...)
+	panic(fatalAbort{})
+}
+
+// runFatal invokes fn, swallowing the fatalAbort unwind.
+func runFatal(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(fatalAbort); !ok {
+				panic(r)
+			}
+		}
+	}()
+	fn()
+}
+
+func TestByteIdentityReportsFirstDivergence(t *testing.T) {
+	want := []byte("the quick brown fox jumps over the lazy dog")
+	got := append([]byte(nil), want...)
+	got[20] ^= 0x40
+
+	ft := &fakeTB{}
+	runFatal(func() { ByteIdentity(ft, "stream", got, want) })
+	if !ft.failed {
+		t.Fatal("ByteIdentity accepted diverging streams")
+	}
+	if !strings.Contains(ft.msg, "offset 20") {
+		t.Fatalf("divergence report missing first-divergence offset: %q", ft.msg)
+	}
+	if !strings.Contains(ft.msg, "got") || !strings.Contains(ft.msg, "want") {
+		t.Fatalf("divergence report missing hex context: %q", ft.msg)
+	}
+
+	// Identical streams must pass without touching the TB.
+	ft = &fakeTB{}
+	ByteIdentity(ft, "stream", want, want)
+	if ft.failed {
+		t.Fatal("ByteIdentity rejected identical streams")
+	}
+}
+
+func TestByteIdentityLengthMismatch(t *testing.T) {
+	want := []byte("abcdef")
+	ft := &fakeTB{}
+	runFatal(func() { ByteIdentity(ft, "stream", want[:4], want) })
+	if !ft.failed || !strings.Contains(ft.msg, "offset 4") {
+		t.Fatalf("truncation must diverge where the shorter stream ends: %q", ft.msg)
+	}
+}
+
+func TestWaitUntil(t *testing.T) {
+	var n atomic.Int64
+	WaitUntil(t, "counter to advance", func() bool { return n.Add(1) >= 3 })
+}
+
+func TestGoroutineGuardCleanRun(t *testing.T) {
+	guard := GoroutineGuard(t, 0)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	guard()
+}
+
+// healingLeaker reports leaked frames for a few polls, then heals —
+// NoLeakedFrames must tolerate teardown lag instead of failing on the
+// first read.
+type healingLeaker struct{ polls atomic.Int64 }
+
+func (h *healingLeaker) LiveFrames() int64 {
+	if h.polls.Add(1) < 3 {
+		return 7
+	}
+	return 0
+}
+
+func TestNoLeakedFramesWaitsForTeardown(t *testing.T) {
+	NoLeakedFrames(t, &healingLeaker{})
+}
+
+func TestSeedDefaultsAndOverride(t *testing.T) {
+	if got := Seed(t); got != 1 {
+		t.Fatalf("default seed = %d, want 1", got)
+	}
+	t.Setenv("CCX_SEED", "42")
+	if got := Seed(t); got != 42 {
+		t.Fatalf("CCX_SEED seed = %d, want 42", got)
+	}
+	if a, b := Rand(t).Int63(), Rand(t).Int63(); a != b {
+		t.Fatalf("Rand not deterministic for a fixed seed: %d vs %d", a, b)
+	}
+}

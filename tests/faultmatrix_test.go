@@ -1,14 +1,11 @@
 package integration
 
 import (
-	"bytes"
 	"context"
 	"encoding/binary"
-	"encoding/json"
 	"errors"
+	"fmt"
 	"net"
-	"os"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -20,27 +17,8 @@ import (
 	"ccx/internal/faultnet"
 	"ccx/internal/metrics"
 	"ccx/internal/netutil"
+	"ccx/internal/testx"
 )
-
-// dumpFaultMetrics appends one labeled JSON line with the case's final
-// metrics snapshot to $CCX_METRICS_OUT. CI uploads the file as a build
-// artifact, giving every run a comparable record of how each fault plan
-// moved the counters; locally the variable is unset and this is a no-op.
-func dumpFaultMetrics(t *testing.T, name string, met *metrics.Registry) {
-	path := os.Getenv("CCX_METRICS_OUT")
-	if path == "" {
-		return
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
-	if err != nil {
-		t.Fatalf("CCX_METRICS_OUT: %v", err)
-	}
-	defer f.Close()
-	line := map[string]any{"case": name, "metrics": met.Snapshot()}
-	if err := json.NewEncoder(f).Encode(line); err != nil {
-		t.Fatalf("CCX_METRICS_OUT: %v", err)
-	}
-}
 
 // TestFaultMatrix runs the full publish path — ccsend-style frame writer →
 // TCP → broker → per-subscriber adaptation → ccrecv-style frame reader —
@@ -78,7 +56,7 @@ func TestFaultMatrix(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			baseline := runtime.NumGoroutine()
+			guard := testx.GoroutineGuard(t, 0)
 
 			met := metrics.NewRegistry()
 			b, err := broker.New(broker.Config{
@@ -183,7 +161,7 @@ func TestFaultMatrix(t *testing.T) {
 			case <-time.After(5 * time.Second):
 				t.Fatal("subscriber loop never ended after shutdown")
 			}
-			dumpFaultMetrics(t, tc.name, met)
+			testx.DumpMetrics(t, tc.name, met)
 
 			// Delivered blocks must be byte-identical to their originals —
 			// corruption may drop blocks, never alter them.
@@ -192,9 +170,7 @@ func TestFaultMatrix(t *testing.T) {
 				if int(idx) >= len(blocks) {
 					t.Fatalf("delivered unknown block index %d", idx)
 				}
-				if !bytes.Equal(data, blocks[idx]) {
-					t.Fatalf("block %d delivered with wrong bytes", idx)
-				}
+				testx.ByteIdentity(t, fmt.Sprintf("block %d", idx), data, blocks[idx])
 			}
 			n := len(got)
 			mu.Unlock()
@@ -222,14 +198,7 @@ func TestFaultMatrix(t *testing.T) {
 
 			// Everything the run spawned — serve loop, broker sessions,
 			// subscriber reader — must be gone.
-			waitDeadline := time.Now().Add(5 * time.Second)
-			for runtime.NumGoroutine() > baseline {
-				if time.Now().After(waitDeadline) {
-					t.Fatalf("goroutine leak: %d > baseline %d", runtime.NumGoroutine(), baseline)
-				}
-				runtime.GC()
-				time.Sleep(5 * time.Millisecond)
-			}
+			guard()
 		})
 	}
 }
@@ -384,7 +353,7 @@ func TestReconnectResume(t *testing.T) {
 			if err := <-serveDone; err != nil {
 				t.Fatalf("serve: %v", err)
 			}
-			dumpFaultMetrics(t, "reconnect_"+tc.name, met)
+			testx.DumpMetrics(t, "reconnect_"+tc.name, met)
 
 			// Exactly-once: no sequence may reach the consumer twice, and
 			// the delivered order must be strictly increasing.
@@ -399,9 +368,7 @@ func TestReconnectResume(t *testing.T) {
 			}
 			// Byte-identity for everything delivered.
 			for seq, data := range delivered {
-				if !bytes.Equal(data, blocks[seq-1]) {
-					t.Fatalf("block seq %d delivered with wrong bytes", seq)
-				}
+				testx.ByteIdentity(t, fmt.Sprintf("block seq %d", seq), data, blocks[seq-1])
 			}
 
 			st := track.Stats()

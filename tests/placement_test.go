@@ -1,7 +1,6 @@
 package integration
 
 import (
-	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -19,6 +18,7 @@ import (
 	"ccx/internal/faultnet"
 	"ccx/internal/metrics"
 	"ccx/internal/selector"
+	"ccx/internal/testx"
 )
 
 // pinPolicy pins the method selector to one codec, so each matrix cell
@@ -217,9 +217,7 @@ func TestPlacementEquivalence(t *testing.T) {
 					if int(idx) >= len(blocks) {
 						t.Fatalf("delivered unknown block index %d", idx)
 					}
-					if !bytes.Equal(data, blocks[idx]) {
-						t.Fatalf("block %d delivered with wrong bytes", idx)
-					}
+					testx.ByteIdentity(t, fmt.Sprintf("block %d", idx), data, blocks[idx])
 				}
 				n := len(got)
 				methodsSeen := append([]codec.Method(nil), wireMethods...)
@@ -358,9 +356,7 @@ func TestPlacementResumeEquivalence(t *testing.T) {
 				}
 			}
 			for seq, data := range delivered {
-				if !bytes.Equal(data, blocks[seq-1]) {
-					t.Fatalf("block seq %d delivered with wrong bytes", seq)
-				}
+				testx.ByteIdentity(t, fmt.Sprintf("block seq %d", seq), data, blocks[seq-1])
 			}
 			if st := track.Stats(); st.GapBlocks != 0 {
 				t.Fatalf("%d blocks lost on an in-window resume", st.GapBlocks)
